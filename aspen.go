@@ -1,0 +1,334 @@
+// Package aspen is the public API of this reproduction of "Dynamic Join
+// Optimization in Multi-Hop Wireless Sensor Networks" (Mihaylov, Jacob,
+// Ives, Guha — VLDB 2010): the sensor-network join subsystem of the Aspen
+// data integration system, rebuilt as a Go library over a deterministic
+// network simulator.
+//
+// The facade covers the common cases — build a deployment, pick one of the
+// paper's queries and algorithms, run it, and read the traffic/result
+// report — and exposes the full experiment registry that regenerates every
+// table and figure of the paper. Lower-level building blocks (the routing
+// substrate, cost model, window engine, MPO machinery) live in the
+// internal packages and are documented in DESIGN.md.
+package aspen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costmodel"
+	"repro/internal/dht"
+	"repro/internal/experiments"
+	"repro/internal/ght"
+	"repro/internal/join"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TopologyKind names a deployment class from the paper's evaluation.
+type TopologyKind string
+
+// Deployment classes (section 4.1, Appendix C).
+const (
+	SparseRandom   TopologyKind = "sparse"   // ~6 neighbours/node
+	ModerateRandom TopologyKind = "moderate" // ~7 neighbours/node (default)
+	MediumRandom   TopologyKind = "medium"   // ~8 neighbours/node
+	DenseRandom    TopologyKind = "dense"    // ~13 neighbours/node
+	Grid           TopologyKind = "grid"     // regular grid, ~7 neighbours
+	Intel          TopologyKind = "intel"    // 54-mote Intel-Berkeley lab
+)
+
+func (k TopologyKind) kind() (topology.Kind, error) {
+	switch k {
+	case SparseRandom:
+		return topology.SparseRandom, nil
+	case ModerateRandom, "":
+		return topology.ModerateRandom, nil
+	case MediumRandom:
+		return topology.MediumRandom, nil
+	case DenseRandom:
+		return topology.DenseRandom, nil
+	case Grid:
+		return topology.Grid, nil
+	case Intel:
+		return topology.Intel, nil
+	default:
+		return 0, fmt.Errorf("aspen: unknown topology kind %q", k)
+	}
+}
+
+// Query names one of Table 2's workload queries.
+type Query string
+
+// The paper's four evaluation queries.
+const (
+	// Query0 is the 1:1 join with random endpoints (S.u = T.u).
+	Query0 Query = "Q0"
+	// Query1 is the m:n join with uniform endpoints
+	// (S.id<25, T.id>50, S.x=T.y+5, S.u=T.u).
+	Query1 Query = "Q1"
+	// Query2 is the perimeter join
+	// (S.rid=0, T.rid=3, S.cid=T.cid, S.id%4=T.id%4, S.u=T.u).
+	Query2 Query = "Q2"
+	// Query3 is the region join over humidity readings
+	// (Dst<5m, s.id<t.id, |s.v-t.v|>1000).
+	Query3 Query = "Q3"
+)
+
+// Algorithm names a join strategy.
+type Algorithm string
+
+// The paper's join algorithms and the MPO/learning variants.
+const (
+	Naive      Algorithm = "Naive"
+	Base       Algorithm = "Base"
+	Yang07     Algorithm = "Yang+07"
+	GHT        Algorithm = "GHT"
+	DHT        Algorithm = "DHT"
+	Innet      Algorithm = "Innet"
+	InnetCM    Algorithm = "Innet-cm"
+	InnetCMG   Algorithm = "Innet-cmg"
+	InnetCMPG  Algorithm = "Innet-cmpg"
+	InnetLearn Algorithm = "Innet learn"
+)
+
+// Algorithms lists every supported algorithm name.
+func Algorithms() []Algorithm {
+	return []Algorithm{Naive, Base, Yang07, GHT, DHT, Innet, InnetCM, InnetCMG, InnetCMPG, InnetLearn}
+}
+
+// Rates are the workload selectivities: SigmaS/SigmaT are producer send
+// probabilities per sampling cycle, SigmaST the pairwise join selectivity.
+type Rates struct {
+	SigmaS, SigmaT, SigmaST float64
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Topology selects the deployment (default ModerateRandom).
+	Topology TopologyKind
+	// Nodes is the deployment size (default 100; fixed at 54 for Intel).
+	Nodes int
+	// Query selects the workload (default Query1).
+	Query Query
+	// Pairs is Query0's random pair count (default 10).
+	Pairs int
+	// Rates are the data-generation ground truth (default the paper's
+	// 1/2:1/2 stage with sigma_st = 10%).
+	Rates Rates
+	// OptimizerRates, when non-nil, feeds the optimizer different
+	// (possibly wrong) estimates than the ground truth — the setting of
+	// the paper's cost-model validation and learning experiments.
+	OptimizerRates *Rates
+	// Algorithm selects the join strategy (default InnetCMG).
+	Algorithm Algorithm
+	// Cycles is the number of sampling cycles (default 100).
+	Cycles int
+	// Seed makes the run reproducible (default 1).
+	Seed uint64
+	// LossProb is the per-hop packet loss probability (default 5%, the
+	// mote setting; use 0 for mesh-style runs).
+	LossProb *float64
+	// Trees is the number of routing trees in the substrate (default 3).
+	Trees int
+	// FailJoinNode, when set, permanently fails the first pair's join
+	// node at FailCycle (section 7's experiment).
+	FailJoinNode bool
+	FailCycle    int
+	// Merge enables Appendix E's opportunistic packet merging on the
+	// join-at-base data path (Naive and Base only).
+	Merge bool
+}
+
+// Report is what a run produces.
+type Report struct {
+	// Algorithm echoes the strategy that ran.
+	Algorithm Algorithm
+	// TotalBytes / TotalMessages are network-wide transmission totals,
+	// including retransmissions and initiation.
+	TotalBytes, TotalMessages int64
+	// InitBytes is the initiation-phase share of TotalBytes.
+	InitBytes int64
+	// BaseBytes is traffic sent or received by the base station.
+	BaseBytes int64
+	// MaxNodeBytes is the heaviest per-node transmit load.
+	MaxNodeBytes int64
+	// Results counts join results delivered to the base station.
+	Results int
+	// MeanDelay is the average gap between delivered results, in cycles.
+	MeanDelay float64
+	// Migrations counts adaptive join-node moves (learning variants).
+	Migrations int
+	// InNetPairs / AtBasePairs report where producer pairs ended up.
+	InNetPairs, AtBasePairs int
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Report, error) {
+	kind, err := cfg.Topology.kind()
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Nodes
+	if n == 0 {
+		n = 100
+	}
+	if cfg.Cycles == 0 {
+		cfg.Cycles = 100
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Trees == 0 {
+		cfg.Trees = 3
+	}
+	if cfg.Rates == (Rates{}) {
+		cfg.Rates = Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+	}
+	topo := topology.Generate(kind, n, 1)
+	nodes := workload.BuildNodes(topo, 1)
+	rates := workload.Rates(cfg.Rates)
+	var spec *workload.Spec
+	switch cfg.Query {
+	case Query0:
+		pairs := cfg.Pairs
+		if pairs == 0 {
+			pairs = 10
+		}
+		spec = workload.Query0(topo, nodes, pairs, rates, 7)
+	case Query1, "":
+		spec = workload.Query1(topo, nodes, rates)
+	case Query2:
+		spec = workload.Query2(topo, nodes, rates)
+	case Query3:
+		spec = workload.Query3(topo, nodes, rates)
+	default:
+		return nil, fmt.Errorf("aspen: unknown query %q", cfg.Query)
+	}
+	loss := 0.05
+	if cfg.LossProb != nil {
+		loss = *cfg.LossProb
+	}
+	net := sim.NewNetwork(topo, loss, cfg.Seed^0x105E)
+	sub := routing.NewSubstrate(topo, routing.Options{
+		NumTrees:       cfg.Trees,
+		Indexes:        spec.Indexes,
+		IndexPositions: spec.IndexPositions,
+	}, nil)
+	var sampler workload.Sampler
+	if cfg.Query == Query3 {
+		sampler = workload.HumiditySampler{H: workload.NewHumidity(topo, cfg.Seed)}
+	} else {
+		sampler = workload.NewGenerator(rates, cfg.Seed)
+	}
+	opt := costmodel.Params{
+		SigmaS: rates.SigmaS, SigmaT: rates.SigmaT, SigmaST: rates.SigmaST, W: spec.W,
+	}
+	if cfg.OptimizerRates != nil {
+		opt.SigmaS = cfg.OptimizerRates.SigmaS
+		opt.SigmaT = cfg.OptimizerRates.SigmaT
+		opt.SigmaST = cfg.OptimizerRates.SigmaST
+	}
+	jc := join.NewConfig(topo, net, sub, spec, sampler, opt, cfg.Cycles)
+	jc.Merge = cfg.Merge
+	alg, err := algorithmFor(cfg.Algorithm, topo)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FailJoinNode {
+		// Locate a victim join node with a dry run, then re-run with the
+		// failure injected.
+		probe := alg.Run(jc)
+		if len(probe.PairJoinNodes) == 0 {
+			return nil, fmt.Errorf("aspen: no in-network join node to fail")
+		}
+		net = sim.NewNetwork(topo, loss, cfg.Seed^0x105E)
+		if cfg.Query != Query3 {
+			sampler = workload.NewGenerator(rates, cfg.Seed)
+		} else {
+			sampler = workload.HumiditySampler{H: workload.NewHumidity(topo, cfg.Seed)}
+		}
+		jc = join.NewConfig(topo, net, sub, spec, sampler, opt, cfg.Cycles)
+		jc.Merge = cfg.Merge
+		jc.FailNode = probe.PairJoinNodes[0]
+		jc.FailCycle = cfg.FailCycle
+		if jc.FailCycle == 0 {
+			jc.FailCycle = cfg.Cycles / 2
+		}
+	}
+	res := alg.Run(jc)
+	return &Report{
+		Algorithm:     Algorithm(res.Algorithm),
+		TotalBytes:    res.TotalBytes,
+		TotalMessages: res.TotalMessages,
+		InitBytes:     res.InitBytes,
+		BaseBytes:     res.BaseBytes,
+		MaxNodeBytes:  res.MaxNodeBytes,
+		Results:       res.Results,
+		MeanDelay:     res.MeanDelay(),
+		Migrations:    res.Migrations,
+		InNetPairs:    res.InNetPairs,
+		AtBasePairs:   res.AtBasePairs,
+	}, nil
+}
+
+func algorithmFor(name Algorithm, topo *topology.Topology) (join.Algorithm, error) {
+	switch name {
+	case Naive:
+		return join.Naive{}, nil
+	case Base:
+		return join.Base{}, nil
+	case Yang07:
+		return join.Yang07{}, nil
+	case GHT:
+		return join.Hashed{Label: "GHT", Router: ght.NewRouter(topo)}, nil
+	case DHT:
+		return join.Hashed{Label: "DHT", Router: dht.NewRing(topo)}, nil
+	case Innet:
+		return join.Innet{}, nil
+	case InnetCM:
+		return join.Innet{Opts: join.InnetOptions{Multicast: true}}, nil
+	case InnetCMG, "":
+		return join.Innet{Opts: join.InnetOptions{Multicast: true, GroupOpt: true}}, nil
+	case InnetCMPG:
+		return join.Innet{Opts: join.InnetOptions{Multicast: true, PathCollapse: true, GroupOpt: true}}, nil
+	case InnetLearn:
+		return join.Innet{Opts: join.InnetOptions{Multicast: true, PathCollapse: true, GroupOpt: true, Learn: true}}, nil
+	default:
+		return nil, fmt.Errorf("aspen: unknown algorithm %q", name)
+	}
+}
+
+// Experiments lists the registered paper artifacts (fig2..fig20, tab3,
+// mobility, ablation).
+func Experiments() []string {
+	ids := experiments.IDs()
+	sort.Strings(ids)
+	return ids
+}
+
+// ExperimentTitle returns the description of an experiment ID.
+func ExperimentTitle(id string) (string, error) {
+	e := experiments.Lookup(id)
+	if e == nil {
+		return "", fmt.Errorf("aspen: unknown experiment %q", id)
+	}
+	return e.Title, nil
+}
+
+// RunExperiment regenerates one paper artifact and returns its table as
+// formatted text. quick trims the sweeps for fast runs; full mode uses the
+// paper's parameters (9 runs, full stage grids).
+func RunExperiment(id string, quick bool) (string, error) {
+	e := experiments.Lookup(id)
+	if e == nil {
+		return "", fmt.Errorf("aspen: unknown experiment %q (known: %v)", id, Experiments())
+	}
+	cfg := experiments.DefaultConfig()
+	if quick {
+		cfg = experiments.QuickConfig()
+	}
+	return experiments.Render(e, e.Run(cfg)), nil
+}

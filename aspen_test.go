@@ -1,0 +1,162 @@
+package aspen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	rep, err := Run(Config{Cycles: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Algorithm != InnetCMG {
+		t.Fatalf("default algorithm = %q", rep.Algorithm)
+	}
+	if rep.TotalBytes == 0 || rep.Results == 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+}
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	for _, alg := range Algorithms() {
+		rep, err := Run(Config{Algorithm: alg, Query: Query1, Cycles: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if rep.TotalBytes == 0 {
+			t.Fatalf("%s: no traffic", alg)
+		}
+	}
+}
+
+func TestRunEveryQuery(t *testing.T) {
+	for _, q := range []Query{Query0, Query1, Query2} {
+		rep, err := Run(Config{Query: q, Cycles: 20, Algorithm: Innet})
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if rep.Results == 0 {
+			t.Fatalf("%s: no results", q)
+		}
+	}
+	// Query 3 needs the Intel topology to have adjacent pairs.
+	rep, err := Run(Config{Query: Query3, Topology: Intel, Cycles: 20, Algorithm: Innet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalBytes == 0 {
+		t.Fatal("Q3: no traffic")
+	}
+}
+
+func TestRunEveryTopology(t *testing.T) {
+	for _, k := range []TopologyKind{SparseRandom, ModerateRandom, MediumRandom, DenseRandom, Grid, Intel} {
+		if _, err := Run(Config{Topology: k, Query: Query0, Pairs: 5, Cycles: 10, Algorithm: Innet}); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	a, err := Run(Config{Seed: 42, Cycles: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 42, Cycles: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if _, err := Run(Config{Topology: "blimp"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := Run(Config{Query: "Q9"}); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if _, err := Run(Config{Algorithm: "bogosort"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestLearningRun(t *testing.T) {
+	wrong := Rates{SigmaS: 1, SigmaT: 0.1, SigmaST: 0.2}
+	rep, err := Run(Config{
+		Query:          Query0,
+		Rates:          Rates{SigmaS: 0.1, SigmaT: 1, SigmaST: 0.2},
+		OptimizerRates: &wrong,
+		Algorithm:      InnetLearn,
+		Cycles:         150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Migrations == 0 {
+		t.Fatal("learning run never migrated despite wrong estimates")
+	}
+}
+
+func TestFailureRun(t *testing.T) {
+	rep, err := Run(Config{
+		Query:        Query0,
+		Pairs:        1,
+		Rates:        Rates{SigmaS: 1, SigmaT: 1, SigmaST: 0.2},
+		Algorithm:    Innet,
+		Cycles:       60,
+		FailJoinNode: true,
+	})
+	if err != nil {
+		// The single pair may legitimately join at the base on this
+		// seed, making failure injection impossible.
+		t.Skip(err)
+	}
+	if rep.Results == 0 {
+		t.Fatal("no results despite failover")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	title, err := ExperimentTitle("fig13")
+	if err != nil || !strings.Contains(title, "Intel") {
+		t.Fatalf("fig13 title = %q, err %v", title, err)
+	}
+	if _, err := ExperimentTitle("nope"); err == nil {
+		t.Fatal("unknown experiment title accepted")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	out, err := RunExperiment("mobility", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "update traffic") {
+		t.Fatalf("experiment output malformed:\n%s", out)
+	}
+	if _, err := RunExperiment("nope", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestMergeFlag(t *testing.T) {
+	plain, err := Run(Config{Algorithm: Base, Query: Query1, Cycles: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Run(Config{Algorithm: Base, Query: Query1, Cycles: 30, Merge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.TotalBytes >= plain.TotalBytes {
+		t.Fatalf("merge did not reduce traffic: %d vs %d", merged.TotalBytes, plain.TotalBytes)
+	}
+}

@@ -1,0 +1,233 @@
+package aspen
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/experiments"
+	"repro/internal/join"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one registered experiment per iteration in quick
+// mode. Every table and figure of the paper has a bench target here; the
+// aspen-exp CLI regenerates the same artifacts at full fidelity.
+func benchExperiment(b *testing.B, id string) {
+	e := experiments.Lookup(id)
+	if e == nil {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.QuickConfig()
+	cfg.Runs = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := e.Run(cfg)
+		if len(rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)     { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)    { benchExperiment(b, "fig14") }
+func BenchmarkFig16(b *testing.B)    { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)    { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)    { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)    { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)    { benchExperiment(b, "fig20") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "tab3") }
+func BenchmarkMobility(b *testing.B) { benchExperiment(b, "mobility") }
+
+// --- Ablation benches (DESIGN.md, "Design choices called out for ablation")
+
+// ablationSetup builds one Query 0 run for micro-ablations.
+func ablationSetup(opt *costmodel.Params, cycles int) *join.Config {
+	topo := topology.Generate(topology.ModerateRandom, 100, 1)
+	nodes := workload.BuildNodes(topo, 1)
+	rates := workload.Rates{SigmaS: 0.1, SigmaT: 1, SigmaST: 0.2}
+	spec := workload.Query0(topo, nodes, 10, rates, 7)
+	net := sim.NewNetwork(topo, 0.05, 1)
+	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 3, Indexes: spec.Indexes}, nil)
+	gen := workload.NewGenerator(rates, 42)
+	p := costmodel.Params{SigmaS: rates.SigmaS, SigmaT: rates.SigmaT, SigmaST: rates.SigmaST, W: spec.W}
+	if opt != nil {
+		p = *opt
+		p.W = spec.W
+	}
+	return join.NewConfig(topo, net, sub, spec, gen, p, cycles)
+}
+
+// BenchmarkAblationPlacement compares the section 3.1 cost-model placement
+// against naive placements; reported metric is traffic KB per op.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		f    func(p costmodel.Params, depths []int) costmodel.Placement
+	}{
+		{"cost-model", nil},
+		{"midpoint", func(p costmodel.Params, d []int) costmodel.Placement {
+			return costmodel.Placement{Index: len(d) / 2}
+		}},
+		{"at-s", func(p costmodel.Params, d []int) costmodel.Placement {
+			return costmodel.Placement{Index: 0}
+		}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationSetup(nil, 50)
+				res := join.Innet{Opts: join.InnetOptions{PlacementOverride: bench.f}}.Run(cfg)
+				bytes += res.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+		})
+	}
+}
+
+// BenchmarkAblationTrigger varies the adaptivity trigger ratio under wrong
+// initial estimates (the paper picked 33%).
+func BenchmarkAblationTrigger(b *testing.B) {
+	wrong := &costmodel.Params{SigmaS: 1, SigmaT: 0.1, SigmaST: 0.2}
+	for _, bench := range []struct {
+		name    string
+		trigger float64
+		learn   bool
+	}{
+		{"never", 0, false},
+		{"10pct", 0.10, true},
+		{"33pct", 0.33, true},
+		{"66pct", 0.66, true},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				cfg := ablationSetup(wrong, 150)
+				res := join.Innet{Opts: join.InnetOptions{Learn: bench.learn, Trigger: bench.trigger}}.Run(cfg)
+				bytes += res.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+		})
+	}
+}
+
+// BenchmarkAblationMulticast measures the interior-state-cached multicast
+// tree against pairwise unicast on the m:n Query 1.
+func BenchmarkAblationMulticast(b *testing.B) {
+	mk := func() *join.Config {
+		topo := topology.Generate(topology.ModerateRandom, 100, 1)
+		nodes := workload.BuildNodes(topo, 1)
+		rates := workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.05}
+		spec := workload.Query1(topo, nodes, rates)
+		net := sim.NewNetwork(topo, 0.05, 1)
+		sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 3, Indexes: spec.Indexes}, nil)
+		gen := workload.NewGenerator(rates, 42)
+		p := costmodel.Params{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.05, W: spec.W}
+		return join.NewConfig(topo, net, sub, spec, gen, p, 50)
+	}
+	for _, bench := range []struct {
+		name string
+		opts join.InnetOptions
+	}{
+		{"unicast", join.InnetOptions{}},
+		{"multicast", join.InnetOptions{Multicast: true}},
+		{"multicast+collapse", join.InnetOptions{Multicast: true, PathCollapse: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res := join.Innet{Opts: bench.opts}.Run(mk())
+				bytes += res.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+		})
+	}
+}
+
+// BenchmarkAblationCollapse isolates the path-collapse hysteresis choice:
+// with collapsing on vs off at the m:n perimeter query.
+func BenchmarkAblationCollapse(b *testing.B) {
+	mk := func() *join.Config {
+		topo := topology.Generate(topology.ModerateRandom, 100, 1)
+		nodes := workload.BuildNodes(topo, 1)
+		rates := workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+		spec := workload.Query2(topo, nodes, rates)
+		net := sim.NewNetwork(topo, 0.05, 1)
+		sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 3, Indexes: spec.Indexes}, nil)
+		gen := workload.NewGenerator(rates, 42)
+		p := costmodel.Params{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1, W: spec.W}
+		return join.NewConfig(topo, net, sub, spec, gen, p, 100)
+	}
+	for _, bench := range []struct {
+		name string
+		opts join.InnetOptions
+	}{
+		{"cmg", join.InnetOptions{Multicast: true, GroupOpt: true}},
+		{"cmpg", join.InnetOptions{Multicast: true, PathCollapse: true, GroupOpt: true}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res := join.Innet{Opts: bench.opts}.Run(mk())
+				bytes += res.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+		})
+	}
+}
+
+// BenchmarkAblationMerge quantifies Appendix E's opportunistic packet
+// merging on the join-at-base data path.
+func BenchmarkAblationMerge(b *testing.B) {
+	mk := func(merge bool) *join.Config {
+		topo := topology.Generate(topology.ModerateRandom, 100, 1)
+		nodes := workload.BuildNodes(topo, 1)
+		rates := workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+		spec := workload.Query1(topo, nodes, rates)
+		net := sim.NewNetwork(topo, 0.05, 1)
+		sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 1, Indexes: spec.Indexes}, nil)
+		gen := workload.NewGenerator(rates, 42)
+		p := costmodel.Params{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1, W: spec.W}
+		cfg := join.NewConfig(topo, net, sub, spec, gen, p, 100)
+		cfg.Merge = merge
+		return cfg
+	}
+	for _, bench := range []struct {
+		name  string
+		merge bool
+	}{{"unmerged", false}, {"merged", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				res := join.Base{}.Run(mk(bench.merge))
+				bytes += res.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+		})
+	}
+}
+
+// BenchmarkSingleRun measures one full simulation end to end (substrate
+// construction + initiation + 100 cycles) — the unit everything above
+// composes.
+func BenchmarkSingleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Cycles: 100, Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

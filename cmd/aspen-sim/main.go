@@ -1,0 +1,58 @@
+// Command aspen-sim runs a single join query simulation and prints the
+// traffic/result report — the quickest way to poke at the system.
+//
+// Usage:
+//
+//	aspen-sim -query Q2 -alg Innet-cmg -cycles 200
+//	aspen-sim -query Q3 -topo intel -alg "Innet learn"
+//	aspen-sim -query Q0 -pairs 1 -alg Innet -fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	aspen "repro"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "moderate", "topology: sparse|moderate|medium|dense|grid|intel")
+		nodes  = flag.Int("nodes", 100, "node count (ignored for intel)")
+		query  = flag.String("query", "Q1", "query: Q0|Q1|Q2|Q3")
+		pairs  = flag.Int("pairs", 10, "Q0 random pair count")
+		alg    = flag.String("alg", "Innet-cmg", "algorithm (see aspen.Algorithms)")
+		cycles = flag.Int("cycles", 100, "sampling cycles")
+		seed   = flag.Uint64("seed", 1, "run seed")
+		sS     = flag.Float64("sigma-s", 0.5, "sigma_s producer rate")
+		sT     = flag.Float64("sigma-t", 0.5, "sigma_t producer rate")
+		sST    = flag.Float64("sigma-st", 0.1, "sigma_st join selectivity")
+		fail   = flag.Bool("fail", false, "fail the first pair's join node mid-run")
+	)
+	flag.Parse()
+
+	rep, err := aspen.Run(aspen.Config{
+		Topology:     aspen.TopologyKind(*topo),
+		Nodes:        *nodes,
+		Query:        aspen.Query(*query),
+		Pairs:        *pairs,
+		Algorithm:    aspen.Algorithm(*alg),
+		Cycles:       *cycles,
+		Seed:         *seed,
+		Rates:        aspen.Rates{SigmaS: *sS, SigmaT: *sT, SigmaST: *sST},
+		FailJoinNode: *fail,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("algorithm      %s\n", rep.Algorithm)
+	fmt.Printf("total traffic  %.1f KB (%d messages, init %.1f KB)\n",
+		float64(rep.TotalBytes)/1024, rep.TotalMessages, float64(rep.InitBytes)/1024)
+	fmt.Printf("base traffic   %.1f KB\n", float64(rep.BaseBytes)/1024)
+	fmt.Printf("max node load  %.1f KB\n", float64(rep.MaxNodeBytes)/1024)
+	fmt.Printf("results        %d (mean inter-result delay %.2f cycles)\n", rep.Results, rep.MeanDelay)
+	fmt.Printf("pairs          %d in-network, %d at base, %d migrations\n",
+		rep.InNetPairs, rep.AtBasePairs, rep.Migrations)
+}

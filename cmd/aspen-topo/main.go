@@ -1,0 +1,115 @@
+// Command aspen-topo inspects the routing substrate's path quality — the
+// Appendix C properties behind Figures 16-18: average path length and
+// maximum node load per scheme (1-3 trees, GPSR, DHT, full graph) on any
+// of the evaluated deployments.
+//
+// Usage:
+//
+//	aspen-topo -topo moderate -nodes 100
+//	aspen-topo -topo grid -mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dht"
+	"repro/internal/ght"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "moderate", "topology: sparse|moderate|medium|dense|grid|intel")
+		nodes    = flag.Int("nodes", 100, "node count")
+		mesh     = flag.Bool("mesh", false, "mesh mode: DHT instead of GPSR")
+		seed     = flag.Uint64("seed", 1, "layout seed")
+	)
+	flag.Parse()
+
+	kind, ok := map[string]topology.Kind{
+		"sparse": topology.SparseRandom, "moderate": topology.ModerateRandom,
+		"medium": topology.MediumRandom, "dense": topology.DenseRandom,
+		"grid": topology.Grid, "intel": topology.Intel,
+	}[*topoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+	topo := topology.Generate(kind, *nodes, *seed)
+	fmt.Printf("topology %s: %d nodes, avg degree %.1f, radio %.1fm\n\n",
+		kind, topo.N(), topo.AvgDegree(), topo.RadioRange())
+	fmt.Printf("%-12s %-18s %-18s\n", "scheme", "avg path (hops)", "max load (paths)")
+
+	type pathFn func(a, b topology.NodeID) routing.Path
+	schemes := []struct {
+		name string
+		f    pathFn
+	}{}
+	for trees := 1; trees <= 3; trees++ {
+		sub := routing.NewSubstrate(topo, routing.Options{NumTrees: trees}, nil)
+		name := fmt.Sprintf("%d tree", trees)
+		if trees > 1 {
+			name += "s"
+		}
+		schemes = append(schemes, struct {
+			name string
+			f    pathFn
+		}{name, sub.BestTreePath})
+	}
+	if *mesh {
+		ring := dht.NewRing(topo)
+		schemes = append(schemes, struct {
+			name string
+			f    pathFn
+		}{"DHT", func(a, b topology.NodeID) routing.Path {
+			home := ring.HomeNode(int32(b))
+			return ring.Route(a, home).Concat(ring.Route(home, b))
+		}})
+	} else {
+		r := ght.NewRouter(topo)
+		schemes = append(schemes, struct {
+			name string
+			f    pathFn
+		}{"GPSR", r.Route})
+	}
+	schemes = append(schemes, struct {
+		name string
+		f    pathFn
+	}{"full graph", func(a, b topology.NodeID) routing.Path {
+		_, parent := topo.BFS(b)
+		p := routing.Path{a}
+		for at := a; at != b; {
+			at = parent[at]
+			p = append(p, at)
+		}
+		return p
+	}})
+
+	for _, s := range schemes {
+		load := make([]int, topo.N())
+		total, count := 0, 0
+		for a := 0; a < topo.N(); a++ {
+			for b := 0; b < topo.N(); b++ {
+				if a == b {
+					continue
+				}
+				p := s.f(topology.NodeID(a), topology.NodeID(b))
+				total += p.Hops()
+				count++
+				for _, n := range p {
+					load[n]++
+				}
+			}
+		}
+		maxL := 0
+		for _, l := range load {
+			if l > maxL {
+				maxL = l
+			}
+		}
+		fmt.Printf("%-12s %-18.2f %-18d\n", s.name, float64(total)/float64(count), maxL)
+	}
+}

@@ -1,0 +1,202 @@
+// Package costmodel implements the paper's join cost model: the pairwise
+// placement expression of section 3.1, the group-relative expression
+// delta-C_p of section 5.2, and the full per-algorithm analytic cost
+// formulas of Table 3 (Appendix D). Costs are expected tuple
+// transmissions per sampling cycle; the optimizer only ever compares
+// costs, so units cancel.
+package costmodel
+
+// Params are the selectivity estimates the optimizer runs with. They may
+// be wrong — the adaptivity experiments (section 6) deliberately feed
+// incorrect values and learn the truth online.
+type Params struct {
+	// SigmaS, SigmaT are producer send rates per cycle.
+	SigmaS, SigmaT float64
+	// SigmaST is the pairwise join selectivity.
+	SigmaST float64
+	// W is the join window size.
+	W int
+}
+
+// PairPlacement evaluates the section 3.1 expression for a join node j on
+// the path between s and t:
+//
+//	sigma_s*D_sj + sigma_t*D_tj + (sigma_s+sigma_t)*w*sigma_st*D_jr
+//
+// dSJ and dTJ are j's hop distances to s and t along the path; dJR is j's
+// hop distance to the base station.
+func PairPlacement(p Params, dSJ, dTJ, dJR int) float64 {
+	return p.SigmaS*float64(dSJ) +
+		p.SigmaT*float64(dTJ) +
+		(p.SigmaS+p.SigmaT)*float64(p.W)*p.SigmaST*float64(dJR)
+}
+
+// PairAtBase evaluates joining the (s,t) pair at the base station:
+// sigma_s*D_sr + sigma_t*D_tr. (Result forwarding is free — results are
+// already at the base.)
+func PairAtBase(p Params, dSR, dTR int) float64 {
+	return p.SigmaS*float64(dSR) + p.SigmaT*float64(dTR)
+}
+
+// ThroughBase evaluates the Yang+07 strategy for a pair (section 3.1):
+// messages flow from s through the root to t, and results return:
+//
+//	sigma_s*D_sr + (sigma_s + (sigma_s+sigma_t)*w*sigma_st)*D_tr
+func ThroughBase(p Params, dSR, dTR int) float64 {
+	return p.SigmaS*float64(dSR) +
+		(p.SigmaS+(p.SigmaS+p.SigmaT)*float64(p.W)*p.SigmaST)*float64(dTR)
+}
+
+// Placement is the outcome of pairwise optimization for one (s,t) pair.
+type Placement struct {
+	// Index is the chosen join node's position on the path (0 = s itself,
+	// len(path)-1 = t). AtBase overrides Index.
+	Index int
+	// AtBase is set when joining at the base station is cheapest.
+	AtBase bool
+	// Cost is the winning expected cost.
+	Cost float64
+}
+
+// BestPlacement minimizes the section 3.1 expression over every candidate
+// join node on the path (given each node's distance to the base in
+// depthToBase) and the join-at-base alternative. pathLen is the number of
+// nodes on the path; depthToBase[i] is node i's hop count to the root.
+// Ties prefer the in-network placement closest to t (the nominating node),
+// matching the paper's t-side nomination protocol.
+func BestPlacement(p Params, depthToBase []int) Placement {
+	n := len(depthToBase)
+	if n == 0 {
+		return Placement{AtBase: true}
+	}
+	best := Placement{Index: -1, Cost: 0}
+	for i := 0; i < n; i++ {
+		c := PairPlacement(p, i, n-1-i, depthToBase[i])
+		if best.Index == -1 || c < best.Cost || (c == best.Cost && i > best.Index) {
+			best = Placement{Index: i, Cost: c}
+		}
+	}
+	baseCost := PairAtBase(p, depthToBase[0], depthToBase[n-1])
+	if baseCost < best.Cost {
+		return Placement{AtBase: true, Cost: baseCost}
+	}
+	return best
+}
+
+// GroupDelta evaluates delta-C_p of section 5.2 for one producer p in a
+// join group: the cost difference between fully in-network computation and
+// computation at the base,
+//
+//	delta-C_p = sigma_p * sum_j (D_pj + w*sigma_st*N_pj*D_jr) - sigma_p*D_pr
+//
+// joinNodes lists, per join node j handling p, the producer-to-j distance
+// D_pj, j's pair count N_pj for this producer, and j's distance to the
+// root D_jr.
+type GroupJoinNode struct {
+	DPJ, NPJ, DJR int
+}
+
+// GroupDelta returns delta-C_p. sigmaP is the producer's send rate; dPR its
+// distance to the root.
+func GroupDelta(sigmaP, sigmaST float64, w int, joinNodes []GroupJoinNode, dPR int) float64 {
+	var sum float64
+	for _, j := range joinNodes {
+		sum += float64(j.DPJ) + float64(w)*sigmaST*float64(j.NPJ)*float64(j.DJR)
+	}
+	return sigmaP*sum - sigmaP*float64(dPR)
+}
+
+// --- Table 3: full-algorithm analytic costs --------------------------------
+
+// Inputs aggregates the per-node quantities Table 3's formulas need.
+type Inputs struct {
+	Params
+	// DSR[i] is the i-th S producer's hop distance to the root; likewise
+	// DTR for T producers.
+	DSR, DTR []int
+	// PhiS is phi_{s->t}: the fraction of S producers surviving static
+	// pre-filtering (Base's initiation step); likewise PhiT.
+	PhiS, PhiT float64
+	// CS, CT are the per-key producer counts c_s, c_t.
+	CS, CT int
+	// DSJ[i] / DTJ[i] are producer-to-join-node distances and DJR[j] the
+	// join-node-to-root distances for the grouped/pairwise algorithms.
+	DSJ, DTJ, DJR []int
+	// SizeS, SizeT are |S| and |T|.
+	SizeS, SizeT int
+}
+
+func sumInts(xs []int) float64 {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s)
+}
+
+// NaiveCost is Table 3's Naive computation cost per cycle:
+// sigma_s*sum_s D_sr + sigma_t*sum_t D_tr.
+func NaiveCost(in Inputs) float64 {
+	return in.SigmaS*sumInts(in.DSR) + in.SigmaT*sumInts(in.DTR)
+}
+
+// BaseCost is Table 3's Base computation cost per cycle: only producers
+// surviving static pre-filtering send.
+func BaseCost(in Inputs) float64 {
+	return in.SigmaS*in.PhiS*sumInts(in.DSR) + in.SigmaT*in.PhiT*sumInts(in.DTR)
+}
+
+// BaseInitiation is Base's initiation cost: 2*(sigma_s*sum D_sr +
+// sigma_t*sum D_tr) — one round up to announce, one response down.
+func BaseInitiation(in Inputs) float64 {
+	return 2 * (in.SigmaS*sumInts(in.DSR) + in.SigmaT*sumInts(in.DTR))
+}
+
+// YangCost is Table 3's through-the-root computation cost per cycle:
+// sigma_s*sum_s D_sr + (sigma_s*|S|/|T| + (sigma_s+sigma_t)*w*sigma_st) * sum_t D_tr.
+func YangCost(in Inputs) float64 {
+	down := in.SigmaS*float64(in.SizeS)/float64(in.SizeT) +
+		(in.SigmaS+in.SigmaT)*float64(in.W)*in.SigmaST
+	return in.SigmaS*sumInts(in.DSR) + down*sumInts(in.DTR)
+}
+
+// GroupedCost is Table 3's GHT / In-Net computation cost per cycle:
+// sigma_s*sum_s D_sj + sigma_t*sum_t D_tj +
+// (sigma_s+sigma_t)*c_s*c_t*w*sigma_st*sum_j D_jr.
+// GHT and In-Net share the formula; they differ in which join nodes j the
+// substrate makes available (hashing vs cost-based placement).
+func GroupedCost(in Inputs) float64 {
+	return in.SigmaS*sumInts(in.DSJ) + in.SigmaT*sumInts(in.DTJ) +
+		(in.SigmaS+in.SigmaT)*float64(in.CS*in.CT)*float64(in.W)*in.SigmaST*sumInts(in.DJR)
+}
+
+// NaiveStorage is Table 3's Naive storage cost at the base, in buffered
+// values: w*(sigma_s*|S| + sigma_t*|T|).
+func NaiveStorage(in Inputs) float64 {
+	return float64(in.W) * (in.SigmaS*float64(in.SizeS) + in.SigmaT*float64(in.SizeT))
+}
+
+// BaseStorage is Table 3's Base storage cost:
+// w*(sigma_s*phi_s*|S| + sigma_t*phi_t*|T|).
+func BaseStorage(in Inputs) float64 {
+	return float64(in.W) * (in.SigmaS*in.PhiS*float64(in.SizeS) + in.SigmaT*in.PhiT*float64(in.SizeT))
+}
+
+// GroupedStorage is Table 3's per-join-node storage for GHT/In-Net:
+// c_s*c_t*w values.
+func GroupedStorage(in Inputs) float64 { return float64(in.CS*in.CT) * float64(in.W) }
+
+// Diverged reports whether a fresh estimate differs from the previous one
+// by more than the adaptivity trigger ratio (section 6 uses 33%; the
+// ablation bench varies it). A previous value of zero triggers whenever
+// the new value is non-zero.
+func Diverged(prev, now, ratio float64) bool {
+	if prev == 0 {
+		return now != 0
+	}
+	d := (now - prev) / prev
+	if d < 0 {
+		d = -d
+	}
+	return d > ratio
+}

@@ -1,0 +1,84 @@
+// Package dht implements the distributed-hash-table substrate used for the
+// 802.11 mesh experiments (Appendix C and F): keys and node IDs hash onto
+// a ring; a key's home node is the node whose hashed ID is the key's
+// clockwise successor, as in Pastry/Chord [14].
+//
+// Underlay routing is modelled as the shortest hop-path to the home node:
+// unlike GPSR, a DHT overlay does not traverse the boundary of physical
+// connectivity gaps (the lookup is resolved in the overlay), which is
+// exactly why the paper observes DHT paths slightly shorter than GPSR but
+// with higher maximum node load (Fig 17 vs Fig 16) — hashing ignores
+// locality, so central nodes relay disproportionately many paths.
+package dht
+
+import (
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Ring is a consistent-hashing ring over a topology's nodes.
+type Ring struct {
+	topo *topology.Topology
+	// ids[i] is the ring position of node i.
+	ids []uint64
+}
+
+// NewRing builds the ring for topo. Ring positions derive from node IDs by
+// hashing, so the assignment is deterministic and locality-free.
+func NewRing(topo *topology.Topology) *Ring {
+	r := &Ring{topo: topo, ids: make([]uint64, topo.N())}
+	for i := range r.ids {
+		r.ids[i] = mix(uint64(i) + 1)
+	}
+	return r
+}
+
+func mix(z uint64) uint64 {
+	z = (z + 0x9E3779B97F4A7C15)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// HomeNode returns the node owning key: the node whose ring position is
+// the smallest position >= hash(key), wrapping around.
+func (r *Ring) HomeNode(key int32) topology.NodeID {
+	h := mix(uint64(uint32(key)))
+	best := topology.NodeID(-1)
+	var bestPos uint64
+	// Successor scan; n is small (<= a few hundred nodes).
+	for i, pos := range r.ids {
+		if pos >= h && (best < 0 || pos < bestPos) {
+			best, bestPos = topology.NodeID(i), pos
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Wrap: smallest position overall.
+	best, bestPos = 0, r.ids[0]
+	for i, pos := range r.ids[1:] {
+		if pos < bestPos {
+			best, bestPos = topology.NodeID(i+1), pos
+		}
+	}
+	return best
+}
+
+// Route returns the underlay path from src to dst: the shortest hop-path
+// in the physical topology (BFS, deterministic tie-breaking).
+func (r *Ring) Route(src, dst topology.NodeID) routing.Path {
+	if src == dst {
+		return routing.Path{src}
+	}
+	_, parent := r.topo.BFS(dst) // parents point one hop closer to dst
+	if parent[src] < 0 && src != dst {
+		return nil // disconnected (not produced by our generators)
+	}
+	p := routing.Path{src}
+	for at := src; at != dst; {
+		at = parent[at]
+		p = append(p, at)
+	}
+	return p
+}

@@ -1,0 +1,95 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func TestHomeNodeStable(t *testing.T) {
+	topo := topology.Generate(topology.ModerateRandom, 100, 1)
+	r := NewRing(topo)
+	for key := int32(-50); key < 50; key++ {
+		h := r.HomeNode(key)
+		if h < 0 || int(h) >= topo.N() {
+			t.Fatalf("HomeNode(%d) = %d out of range", key, h)
+		}
+		if h != r.HomeNode(key) {
+			t.Fatal("HomeNode not deterministic")
+		}
+	}
+}
+
+func TestHomeNodeBalance(t *testing.T) {
+	topo := topology.Generate(topology.ModerateRandom, 100, 1)
+	r := NewRing(topo)
+	counts := map[topology.NodeID]int{}
+	for key := int32(0); key < 2000; key++ {
+		counts[r.HomeNode(key)]++
+	}
+	if len(counts) < 30 {
+		t.Fatalf("2000 keys landed on only %d nodes", len(counts))
+	}
+}
+
+func TestHomeNodeSuccessorProperty(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 25, 1)
+	r := NewRing(topo)
+	f := func(key int32) bool {
+		home := r.HomeNode(key)
+		h := mix(uint64(uint32(key)))
+		pos := r.ids[home]
+		// No other node position lies strictly between h and pos on the
+		// ring (in successor order).
+		for i, p := range r.ids {
+			if topology.NodeID(i) == home {
+				continue
+			}
+			if pos >= h { // non-wrapping successor
+				if p >= h && p < pos {
+					return false
+				}
+			} else { // wrapped: home is the global minimum
+				if p >= h || p < pos {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteIsShortestPath(t *testing.T) {
+	topo := topology.Generate(topology.ModerateRandom, 80, 3)
+	r := NewRing(topo)
+	f := func(aRaw, bRaw uint8) bool {
+		a := topology.NodeID(int(aRaw) % topo.N())
+		b := topology.NodeID(int(bRaw) % topo.N())
+		p := r.Route(a, b)
+		if p[0] != a || p[len(p)-1] != b {
+			return false
+		}
+		for i := 1; i < len(p); i++ {
+			if !topo.IsNeighbor(p[i-1], p[i]) {
+				return false
+			}
+		}
+		return p.Hops() == topo.Hops(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 16, 1)
+	r := NewRing(topo)
+	p := r.Route(4, 4)
+	if len(p) != 1 || p[0] != 4 {
+		t.Fatalf("self route = %v", p)
+	}
+}

@@ -1,0 +1,313 @@
+package join
+
+import (
+	"repro/internal/query"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// registrationBytes is the initiation payload carrying a producer's static
+// join attributes; ackBytes is the participate/skip response.
+const (
+	registrationBytes = 4 * sim.ValueBytes
+	ackBytes          = sim.ValueBytes
+)
+
+// Naive joins everything at the base station with no per-query setup:
+// selection conditions are pushed down, then every satisfying source tuple
+// is sent to the base (section 2.2, "Grouped Join: At the Base").
+type Naive struct{}
+
+// Name implements Algorithm.
+func (Naive) Name() string { return "Naive" }
+
+// Run implements Algorithm.
+func (Naive) Run(cfg *Config) *Result {
+	res := &Result{Algorithm: "Naive"}
+	rec := newRecorder(res)
+	st := baseState(cfg)
+	// No initiation (beyond initial routing-tree construction, which is
+	// shared by every algorithm and excluded per Table 3).
+	snapshotInit(cfg, res)
+	producers := eligibleProducers(cfg.Spec, cfg.Topo.N())
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		maybeFail(cfg, cycle)
+		if cfg.Merge {
+			runBaseCycleMerged(cfg, st, rec, producers, nil, cycle)
+		} else {
+			runBaseCycle(cfg, st, rec, producers, nil, cycle)
+		}
+	}
+	res.AtBasePairs = st.Pairs()
+	return finish(cfg, res)
+}
+
+// Base refines Naive with a pre-computation step for static join clauses,
+// eliminating source nodes that cannot participate in any join: costlier
+// initiation for cheaper computation.
+type Base struct{}
+
+// Name implements Algorithm.
+func (Base) Name() string { return "Base" }
+
+// Run implements Algorithm.
+func (Base) Run(cfg *Config) *Result {
+	res := &Result{Algorithm: "Base"}
+	rec := newRecorder(res)
+	st := baseState(cfg)
+	// Initiation: every statically eligible producer ships its static
+	// join attributes to the base, which answers with participate/skip.
+	producers := eligibleProducers(cfg.Spec, cfg.Topo.N())
+	for _, p := range producers {
+		up := cfg.Sub.PathToBase(p.id)
+		cfg.Net.Transfer(up, registrationBytes, sim.Control, sim.Flow{})
+		cfg.Net.Transfer(up.Reverse(), ackBytes, sim.Control, sim.Flow{})
+	}
+	snapshotInit(cfg, res)
+	// Computation: only producers participating in at least one pair send.
+	participates := participantSet(cfg.Spec)
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		maybeFail(cfg, cycle)
+		if cfg.Merge {
+			runBaseCycleMerged(cfg, st, rec, producers, participates, cycle)
+		} else {
+			runBaseCycle(cfg, st, rec, producers, participates, cycle)
+		}
+	}
+	res.AtBasePairs = st.Pairs()
+	return finish(cfg, res)
+}
+
+// baseState builds the base station's join state over the query's ground
+// truth pairs (the base holds the full query and all static attributes, so
+// it evaluates static join clauses exactly).
+func baseState(cfg *Config) *window.State {
+	st := window.NewState(cfg.Spec.W, cfg.Spec.DynJoin)
+	for _, g := range cfg.Spec.Groups() {
+		for _, p := range g.Pairs {
+			st.AddPair(p[0], p[1])
+		}
+	}
+	return st
+}
+
+// participantSet marks (node, role) slots that appear in at least one pair.
+func participantSet(spec *workload.Spec) map[producerSlot]bool {
+	out := map[producerSlot]bool{}
+	for _, g := range spec.Groups() {
+		for _, p := range g.Pairs {
+			out[producerSlot{p[0], query.S}] = true
+			out[producerSlot{p[1], query.T}] = true
+		}
+	}
+	return out
+}
+
+// runBaseCycle executes one sampling cycle of a join-at-base algorithm:
+// producers sample, admitted tuples travel up the base tree, and the base
+// joins them. filter, when non-nil, drops producer slots not in the set
+// (Base's pre-filtering).
+func runBaseCycle(cfg *Config, st *window.State, rec *recorder, producers []producerSlot, filter map[producerSlot]bool, cycle int) {
+	done := map[topology.NodeID]bool{}
+	for _, p := range producers {
+		if filter != nil && !filter[p] {
+			continue
+		}
+		if bothRoles(cfg.Spec, p.id) {
+			// One physical reading serves both roles; handle on the S
+			// visit and skip the T slot.
+			if done[p.id] {
+				continue
+			}
+			done[p.id] = true
+			v, send := cfg.Sampler.Sample(p.id, query.S, cycle)
+			if !send {
+				continue
+			}
+			if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(p.id), sim.TupleBytes, sim.Data, sim.Flow{Src: p.id, Dst: topology.Base}); ok {
+				rec.record(len(st.ArriveBoth(p.id, v, cycle)), cycle)
+			}
+			continue
+		}
+		v, send := cfg.Sampler.Sample(p.id, p.role, cycle)
+		if !send {
+			continue
+		}
+		if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(p.id), sim.TupleBytes, sim.Data, sim.Flow{Src: p.id, Dst: topology.Base}); ok {
+			rec.record(len(st.Arrive(p.id, p.role, v, cycle)), cycle)
+		}
+	}
+}
+
+// Yang07 is the through-the-base algorithm of [16]: source tuples flow to
+// the base station, which relays them down to the matching target nodes;
+// targets join locally and return results to the base. It trades base
+// storage for extra downstream traffic.
+type Yang07 struct{}
+
+// Name implements Algorithm.
+func (Yang07) Name() string { return "Yang+07" }
+
+// Run implements Algorithm.
+func (Yang07) Run(cfg *Config) *Result {
+	res := &Result{Algorithm: "Yang+07"}
+	rec := newRecorder(res)
+	// Per-target local join state.
+	states := map[topology.NodeID]*window.State{}
+	partnersOfS := map[topology.NodeID][]topology.NodeID{}
+	for _, g := range cfg.Spec.Groups() {
+		for _, pr := range g.Pairs {
+			s, t := pr[0], pr[1]
+			st, ok := states[t]
+			if !ok {
+				st = window.NewState(cfg.Spec.W, cfg.Spec.DynJoin)
+				states[t] = st
+			}
+			st.AddPair(s, t)
+			partnersOfS[s] = append(partnersOfS[s], t)
+		}
+	}
+	snapshotInit(cfg, res) // no initiation beyond tree construction
+	n := cfg.Topo.N()
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		maybeFail(cfg, cycle)
+		// Targets first: a target's own reading joins locally for free.
+		for i := 0; i < n; i++ {
+			t := topology.NodeID(i)
+			st, ok := states[t]
+			if !ok {
+				continue
+			}
+			v, send := cfg.Sampler.Sample(t, query.T, cycle)
+			if !send {
+				continue
+			}
+			sendResults(cfg, rec, t, len(st.Arrive(t, query.T, v, cycle)), cycle)
+		}
+		// Sources: up to the base, then relayed down to each target.
+		for i := 0; i < n; i++ {
+			s := topology.NodeID(i)
+			targets := partnersOfS[s]
+			if len(targets) == 0 {
+				continue
+			}
+			v, send := cfg.Sampler.Sample(s, query.S, cycle)
+			if !send {
+				continue
+			}
+			up := cfg.Sub.PathToBase(s)
+			if ok, _ := cfg.Net.Transfer(up, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: topology.Base}); !ok {
+				continue
+			}
+			for _, t := range targets {
+				down := cfg.Sub.PathToBase(t).Reverse()
+				if ok, _ := cfg.Net.Transfer(down, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: t}); ok {
+					sendResults(cfg, rec, t, len(states[t].Arrive(s, query.S, v, cycle)), cycle)
+				}
+			}
+		}
+	}
+	res.InNetPairs = countPairs(cfg.Spec)
+	return finish(cfg, res)
+}
+
+func countPairs(spec *workload.Spec) int {
+	n := 0
+	for _, g := range spec.Groups() {
+		n += len(g.Pairs)
+	}
+	return n
+}
+
+// HomeRouter abstracts the hash-addressed substrates: GHT over motes
+// (geographic hashing + GPSR) and a DHT over mesh networks. Both map a
+// join key to a home node and route to it.
+type HomeRouter interface {
+	HomeNode(key int32) topology.NodeID
+	Route(from, to topology.NodeID) routing.Path
+}
+
+// Hashed is the grouped join over a hash-addressed substrate: every
+// producer with a given join key sends to the key's home node, which
+// performs the join and forwards results to the base. Its placement is
+// unpredictable — the home node may be arbitrarily far from every
+// producer, which is exactly why the paper finds GHT uncompetitive.
+type Hashed struct {
+	// Label distinguishes "GHT" (motes) from "DHT" (mesh).
+	Label  string
+	Router HomeRouter
+}
+
+// Name implements Algorithm.
+func (h Hashed) Name() string { return h.Label }
+
+// Run implements Algorithm.
+func (h Hashed) Run(cfg *Config) *Result {
+	res := &Result{Algorithm: h.Label}
+	rec := newRecorder(res)
+	groups := cfg.Spec.Groups()
+	type member struct {
+		id   topology.NodeID
+		role query.Rel
+		path routing.Path
+	}
+	type ghtGroup struct {
+		home    topology.NodeID
+		state   *window.State
+		members []member
+	}
+	gs := make([]ghtGroup, 0, len(groups))
+	for _, g := range groups {
+		key := int32(g.Key ^ (g.Key >> 31))
+		home := h.Router.HomeNode(key)
+		gg := ghtGroup{home: home, state: window.NewState(cfg.Spec.W, cfg.Spec.DynJoin)}
+		for _, pr := range g.Pairs {
+			gg.state.AddPair(pr[0], pr[1])
+		}
+		seen := map[producerSlot]bool{}
+		for _, s := range g.S {
+			if !seen[producerSlot{s, query.S}] {
+				seen[producerSlot{s, query.S}] = true
+				gg.members = append(gg.members, member{s, query.S, h.Router.Route(s, home)})
+			}
+		}
+		for _, t := range g.T {
+			if !seen[producerSlot{t, query.T}] {
+				seen[producerSlot{t, query.T}] = true
+				gg.members = append(gg.members, member{t, query.T, h.Router.Route(t, home)})
+			}
+		}
+		gs = append(gs, gg)
+	}
+	// Initiation: one registration round trip per member along the hash
+	// route (Table 3: initiation >= sigma_s*sum D_sj + sigma_t*sum D_tj).
+	for _, gg := range gs {
+		for _, m := range gg.members {
+			cfg.Net.Transfer(m.path, registrationBytes, sim.Control, sim.Flow{})
+			cfg.Net.Transfer(m.path.Reverse(), ackBytes, sim.Control, sim.Flow{})
+		}
+	}
+	snapshotInit(cfg, res)
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		maybeFail(cfg, cycle)
+		for gi := range gs {
+			gg := &gs[gi]
+			matches := 0
+			for _, m := range gg.members {
+				v, send := cfg.Sampler.Sample(m.id, m.role, cycle)
+				if !send {
+					continue
+				}
+				if ok, _ := cfg.Net.Transfer(m.path, sim.TupleBytes, sim.Data, sim.Flow{Src: m.id, Dst: gg.home}); ok {
+					matches += len(gg.state.Arrive(m.id, m.role, v, cycle))
+				}
+			}
+			sendResults(cfg, rec, gg.home, matches, cycle)
+		}
+	}
+	res.InNetPairs = countPairs(cfg.Spec)
+	return finish(cfg, res)
+}

@@ -1,0 +1,858 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/mpo"
+	"repro/internal/query"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/window"
+)
+
+// nominationBytes is the (sourceID, targetID, sequence) triple of the
+// section 3.2 nomination protocol.
+const nominationBytes = 3 * sim.ValueBytes
+
+// InnetOptions selects the In-Net variant. The paper's names compose as
+// Innet-c m p g: cached multicast trees (cm), path collapsing (p), group
+// optimization (g); learning is orthogonal (section 6).
+type InnetOptions struct {
+	// Multicast enables producer-rooted multicast trees with cached
+	// interior state (section 5.1).
+	Multicast bool
+	// PathCollapse enables the snooping path-collapse optimization
+	// (Algorithms 2-3); requires Multicast.
+	PathCollapse bool
+	// GroupOpt enables GROUPOPT (Algorithm 1) group-level decisions.
+	GroupOpt bool
+	// Learn enables adaptive selectivity learning and join-node
+	// migration (section 6).
+	Learn bool
+	// Trigger overrides the 33% divergence trigger when positive.
+	Trigger float64
+	// EstimateInterval / ResetInterval override the adaptivity periods
+	// when positive.
+	EstimateInterval, ResetInterval int
+	// PlacementOverride, when non-nil, replaces the cost-model placement
+	// (used by the ablation benches: midpoint, endpoint, ...).
+	PlacementOverride func(p costmodel.Params, depths []int) costmodel.Placement
+}
+
+// Innet is the pairwise in-network join with cost-based join-node
+// placement (section 3) and the section 5/6 extensions.
+type Innet struct {
+	Opts InnetOptions
+}
+
+// Name implements Algorithm, matching the paper's variant naming.
+func (in Innet) Name() string {
+	name := "Innet"
+	suffix := ""
+	if in.Opts.Multicast {
+		suffix += "cm"
+	}
+	if in.Opts.PathCollapse {
+		suffix += "p"
+	}
+	if in.Opts.GroupOpt {
+		suffix += "g"
+	}
+	if suffix != "" {
+		name += "-" + suffix
+	}
+	if in.Opts.Learn {
+		name += " learn"
+	}
+	return name
+}
+
+// pairState tracks one (s,t) pair's placement and learning state.
+type pairState struct {
+	s, t topology.NodeID
+	// path runs s..t; jIdx indexes the join node on it, or -1 when the
+	// pair joins at the base station.
+	path routing.Path
+	jIdx int
+	est  *adapt.Estimator
+	// group indexes the engine's group table (-1 when ungrouped).
+	group int
+	dead  bool // endpoint failed; pair abandoned
+	// recoverAt is the cycle at which failure recovery completes (the
+	// producers spend a few cycles detecting the silent join node and
+	// attempting repair before switching to the base); 0 = healthy.
+	recoverAt int
+}
+
+func (p *pairState) joinNode() topology.NodeID {
+	if p.jIdx < 0 {
+		return topology.Base
+	}
+	return p.path[p.jIdx]
+}
+
+// sSegment returns the s -> join node path (nil for base joins).
+func (p *pairState) sSegment() routing.Path {
+	if p.jIdx < 0 {
+		return nil
+	}
+	return p.path[:p.jIdx+1]
+}
+
+// tSegment returns the t -> join node path (nil for base joins).
+func (p *pairState) tSegment() routing.Path {
+	if p.jIdx < 0 {
+		return nil
+	}
+	return routing.Path(p.path[p.jIdx:]).Reverse()
+}
+
+// producerKey identifies a producer slot.
+type producerKey struct {
+	id   topology.NodeID
+	role query.Rel
+}
+
+// producerState tracks one producer slot's pairs, multicast tree and
+// retained recent tuples (for failover window reconstruction).
+type producerState struct {
+	key    producerKey
+	pairs  []*pairState
+	tree   *mpo.MulticastTree
+	recent []window.Tuple
+}
+
+// engine is the mutable run state of one In-Net execution.
+type engine struct {
+	cfg   *Config
+	opts  InnetOptions
+	res   *Result
+	rec   *recorder
+	pairs []*pairState
+	// byPair resolves a (s,t) match back to its pairState.
+	byPair map[[2]topology.NodeID]*pairState
+	prods  map[producerKey]*producerState
+	order  []producerKey // deterministic iteration order
+	states map[topology.NodeID]*window.State
+	groups [][]*pairState
+}
+
+// Run implements Algorithm.
+func (in Innet) Run(cfg *Config) *Result {
+	e := &engine{
+		cfg:    cfg,
+		opts:   in.Opts,
+		res:    &Result{Algorithm: in.Name()},
+		byPair: map[[2]topology.NodeID]*pairState{},
+		prods:  map[producerKey]*producerState{},
+		states: map[topology.NodeID]*window.State{},
+	}
+	e.rec = newRecorder(e.res)
+	e.initiate()
+	snapshotInit(cfg, e.res)
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		maybeFail(cfg, cycle)
+		e.runCycle(cycle)
+		if in.Opts.Learn {
+			e.endCycleLearning(cycle)
+		}
+	}
+	for _, p := range e.pairs {
+		if p.dead {
+			continue
+		}
+		if p.jIdx < 0 {
+			e.res.AtBasePairs++
+		} else {
+			e.res.InNetPairs++
+			e.res.PairJoinNodes = append(e.res.PairJoinNodes, p.joinNode())
+		}
+	}
+	return finish(cfg, e.res)
+}
+
+// --- Initiation (section 3) -------------------------------------------------
+
+func (e *engine) initiate() {
+	cfg := e.cfg
+	// Exploration: every eligible s searches the substrate for matching
+	// targets; traffic charged inside FindTargets.
+	for i := 0; i < cfg.Topo.N(); i++ {
+		s := topology.NodeID(i)
+		if !cfg.Spec.EligibleS(s) {
+			continue
+		}
+		found := cfg.Sub.FindTargets(s, cfg.Spec.SearchMatcher(s, cfg.Sub), cfg.Net)
+		targets := make([]topology.NodeID, 0, len(found))
+		for t := range found {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+		for _, t := range targets {
+			// Compress the discovered path: the response path vector is
+			// shortcut through known one-hop neighbourhoods ([11]).
+			path := routing.Shortcut(cfg.Topo, found[t])
+			p := &pairState{s: s, t: t, path: path, group: -1}
+			e.placePair(p, cfg.Opt, true)
+			e.pairs = append(e.pairs, p)
+			e.byPair[[2]topology.NodeID{s, t}] = p
+			if e.opts.Learn {
+				p.est = adapt.New(e.placementParams(cfg.Opt))
+				if e.opts.Trigger > 0 {
+					p.est.Trigger = e.opts.Trigger
+				}
+				if e.opts.EstimateInterval > 0 {
+					p.est.Interval = e.opts.EstimateInterval
+				}
+				if e.opts.ResetInterval > 0 {
+					p.est.Reset = e.opts.ResetInterval
+				}
+			}
+		}
+	}
+	// Producer bookkeeping.
+	for _, p := range e.pairs {
+		e.addProducerPair(producerKey{p.s, query.S}, p)
+		e.addProducerPair(producerKey{p.t, query.T}, p)
+	}
+	sort.Slice(e.order, func(a, b int) bool {
+		if e.order[a].id != e.order[b].id {
+			return e.order[a].id < e.order[b].id
+		}
+		return e.order[a].role < e.order[b].role
+	})
+	if e.opts.GroupOpt {
+		e.buildGroups()
+		e.runGroupOpt(e.cfg.Opt, true)
+	}
+	for _, p := range e.pairs {
+		e.registerPair(p)
+	}
+	if e.opts.Multicast {
+		e.rebuildTrees(true)
+	}
+	if e.opts.PathCollapse {
+		e.collapsePaths()
+	}
+}
+
+// placementParams returns the per-pair parameter view of opt.
+func (e *engine) placementParams(opt costmodel.Params) costmodel.Params {
+	opt.W = e.cfg.Spec.W
+	return opt
+}
+
+// placePair runs the section 3.1 cost minimization for p (via the core
+// decision procedure), charging the nomination protocol when charge is
+// set.
+func (e *engine) placePair(p *pairState, opt costmodel.Params, charge bool) {
+	pl := core.PlacePair(e.placementParams(opt), p.path, e.cfg.Sub.DepthToBase, core.PlacePolicy(e.opts.PlacementOverride))
+	if pl.AtBase {
+		p.jIdx = -1
+	} else {
+		p.jIdx = pl.PathIndex
+	}
+	if charge && e.cfg.Net != nil && p.jIdx >= 0 {
+		// t nominates j; j notifies s (section 3.2).
+		e.cfg.Net.Transfer(p.tSegment(), nominationBytes, sim.Control, sim.Flow{})
+		e.cfg.Net.Transfer(routing.Path(p.path[:p.jIdx+1]).Reverse(), nominationBytes, sim.Control, sim.Flow{})
+	}
+}
+
+func (e *engine) addProducerPair(key producerKey, p *pairState) {
+	ps, ok := e.prods[key]
+	if !ok {
+		ps = &producerState{key: key}
+		e.prods[key] = ps
+		e.order = append(e.order, key)
+	}
+	ps.pairs = append(ps.pairs, p)
+}
+
+// stateAt returns (creating on demand) the join state at node j.
+func (e *engine) stateAt(j topology.NodeID) *window.State {
+	st, ok := e.states[j]
+	if !ok {
+		st = window.NewState(e.cfg.Spec.W, e.cfg.Spec.DynJoin)
+		e.states[j] = st
+	}
+	return st
+}
+
+func (e *engine) registerPair(p *pairState) {
+	e.stateAt(p.joinNode()).AddPair(p.s, p.t)
+}
+
+func (e *engine) unregisterPair(p *pairState) {
+	j := p.joinNode()
+	st := e.stateAt(j)
+	st.RemovePair(p.s, p.t)
+	if st.PairsFor(p.s, query.S) == 0 && st.PairsFor(p.s, query.T) == 0 {
+		st.DropProducer(p.s)
+	}
+	if st.PairsFor(p.t, query.T) == 0 && st.PairsFor(p.t, query.S) == 0 {
+		st.DropProducer(p.t)
+	}
+}
+
+// --- Group optimization (section 5.2) ----------------------------------------
+
+func (e *engine) buildGroups() {
+	byKey := map[int64][]*pairState{}
+	var keys []int64
+	for _, p := range e.pairs {
+		key, ok := e.cfg.Spec.GroupKeyS(p.s)
+		if !ok {
+			// Non-transitive predicate: each pair is its own group.
+			key = int64(p.s)<<20 | int64(p.t)
+		}
+		if _, seen := byKey[key]; !seen {
+			keys = append(keys, key)
+		}
+		byKey[key] = append(byKey[key], p)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	for gi, key := range keys {
+		group := byKey[key]
+		for _, p := range group {
+			p.group = gi
+		}
+		e.groups = append(e.groups, group)
+	}
+}
+
+// runGroupOpt executes GROUPOPT for every group, moving whole groups to
+// the base when the summed deltas favour it.
+func (e *engine) runGroupOpt(opt costmodel.Params, charge bool) {
+	for _, group := range e.groups {
+		e.groupDecision(group, opt, charge)
+	}
+}
+
+func (e *engine) groupDecision(group []*pairState, opt costmodel.Params, charge bool) {
+	// Collect per-producer join-node facts over the group's in-network
+	// assignments.
+	type agg struct {
+		key   producerKey
+		nodes map[topology.NodeID]*costmodel.GroupJoinNode
+		dists map[topology.NodeID]int
+	}
+	perProducer := map[producerKey]*agg{}
+	var orderKeys []producerKey
+	note := func(key producerKey, j topology.NodeID, dPJ int) {
+		a, ok := perProducer[key]
+		if !ok {
+			a = &agg{key: key, nodes: map[topology.NodeID]*costmodel.GroupJoinNode{}, dists: map[topology.NodeID]int{}}
+			perProducer[key] = a
+			orderKeys = append(orderKeys, key)
+		}
+		n, ok := a.nodes[j]
+		if !ok {
+			n = &costmodel.GroupJoinNode{DPJ: dPJ, DJR: e.cfg.Sub.DepthToBase(j)}
+			a.nodes[j] = n
+		}
+		n.NPJ++
+	}
+	for _, p := range group {
+		if p.dead {
+			continue
+		}
+		jIdx := p.jIdx
+		if jIdx < 0 {
+			// Evaluate the in-network alternative: pretend the pair sits
+			// at its cost-model placement for delta purposes.
+			depths := make([]int, len(p.path))
+			for i, n := range p.path {
+				depths[i] = e.cfg.Sub.DepthToBase(n)
+			}
+			pl := costmodel.BestPlacement(e.placementParams(opt), depths)
+			if pl.AtBase {
+				// In-network is never chosen for this pair; treat its
+				// hypothetical join node as the path midpoint.
+				jIdx = len(p.path) / 2
+			} else {
+				jIdx = pl.Index
+			}
+		}
+		j := p.path[jIdx]
+		note(producerKey{p.s, query.S}, j, jIdx)
+		note(producerKey{p.t, query.T}, j, len(p.path)-1-jIdx)
+	}
+	sort.Slice(orderKeys, func(a, b int) bool {
+		if orderKeys[a].id != orderKeys[b].id {
+			return orderKeys[a].id < orderKeys[b].id
+		}
+		return orderKeys[a].role < orderKeys[b].role
+	})
+	var costs []mpo.ProducerCost
+	for _, key := range orderKeys {
+		a := perProducer[key]
+		sigma := opt.SigmaS
+		if key.role == query.T {
+			sigma = opt.SigmaT
+		}
+		pc := mpo.ProducerCost{
+			Producer: key.id,
+			SigmaP:   sigma,
+			DPR:      e.cfg.Sub.DepthToBase(key.id),
+		}
+		js := make([]topology.NodeID, 0, len(a.nodes))
+		for j := range a.nodes {
+			js = append(js, j)
+		}
+		sort.Slice(js, func(x, y int) bool { return js[x] < js[y] })
+		for _, j := range js {
+			pc.JoinNodes = append(pc.JoinNodes, *a.nodes[j])
+		}
+		costs = append(costs, pc)
+	}
+	var net *sim.Network
+	if charge {
+		net = e.cfg.Net
+	}
+	decision := mpo.GroupOpt(e.cfg.Sub, net, costs, opt.SigmaST, e.cfg.Spec.W)
+	for _, p := range group {
+		if p.dead {
+			continue
+		}
+		if decision == mpo.DecideBase {
+			p.jIdx = -1
+		} else if p.jIdx < 0 {
+			e.placePair(p, opt, charge)
+		}
+	}
+}
+
+// --- Multicast and path collapsing (section 5.1, Appendix E) ----------------
+
+// rebuildTrees reconstructs every producer's multicast tree from its
+// current in-network segments, charging interior state pushes when charge
+// is set.
+func (e *engine) rebuildTrees(charge bool) {
+	for _, key := range e.order {
+		e.rebuildTree(e.prods[key], charge)
+	}
+}
+
+func (e *engine) rebuildTree(ps *producerState, charge bool) {
+	var paths []routing.Path
+	for _, p := range ps.pairs {
+		if p.dead || p.jIdx < 0 {
+			continue
+		}
+		if ps.key.role == query.S {
+			paths = append(paths, p.sSegment())
+		} else {
+			paths = append(paths, p.tSegment())
+		}
+	}
+	if len(paths) == 0 {
+		ps.tree = nil
+		return
+	}
+	ps.tree = mpo.BuildMulticast(ps.key.id, paths)
+	if charge && e.cfg.Net != nil {
+		if bytes := ps.tree.InteriorStateBytes(sim.PathEntryBytes); bytes > 0 {
+			// The producer pushes cached subtree state one hop at a time
+			// along the tree; modelled as one charge at the producer.
+			e.cfg.Net.Broadcast(ps.key.id, bytes, sim.Control)
+		}
+	}
+}
+
+// collapsePaths runs the Appendix E path-collapse optimization for every
+// producer with at least two node-disjoint in-network paths.
+func (e *engine) collapsePaths() {
+	for _, key := range e.order {
+		ps := e.prods[key]
+		var segs []routing.Path
+		var segPairs []*pairState
+		for _, p := range ps.pairs {
+			if p.dead || p.jIdx < 0 {
+				continue
+			}
+			if key.role == query.S {
+				segs = append(segs, p.sSegment())
+			} else {
+				segs = append(segs, p.tSegment())
+			}
+			segPairs = append(segPairs, p)
+		}
+		if len(segs) < 2 {
+			continue
+		}
+		opps := mpo.FindCollapses(e.cfg.Topo, segs)
+		if len(opps) == 0 {
+			continue
+		}
+		// Each discovered opportunity costs one notification from the
+		// snooping node to the producer (Algorithm 2, line 8).
+		for _, o := range opps {
+			e.cfg.Net.Transfer(e.cfg.Sub.BestTreePath(o.N1, key.id), nominationBytes, sim.Control, sim.Flow{})
+		}
+		newSegs, _, applied := mpo.ApplyCollapses(e.cfg.Topo, key.id, segs, opps)
+		if applied == 0 {
+			continue
+		}
+		// Adopt the rerouted segments: splice each back into its pair's
+		// full path (producer..j stays rerouted; j..other-end unchanged).
+		for i, p := range segPairs {
+			seg := newSegs[i]
+			if key.role == query.S {
+				rest := routing.Path(p.path[p.jIdx:])
+				p.path = seg.Concat(rest)
+				p.jIdx = len(seg) - 1
+			} else {
+				// seg is t..j reversed orientation: rebuild path as
+				// s..j + reverse(seg)[1:].
+				sPart := routing.Path(p.path[:p.jIdx+1])
+				p.path = sPart.Concat(seg.Reverse())
+				// jIdx unchanged: join node index still at len(sPart)-1.
+				p.jIdx = len(sPart) - 1
+			}
+		}
+		e.rebuildTree(ps, true)
+	}
+}
+
+// --- Per-cycle execution ------------------------------------------------------
+
+func (e *engine) runCycle(cycle int) {
+	cfg := e.cfg
+	// Per cycle, deliveries from a producer are deduplicated per join
+	// node, and results are merged per join node.
+	matchesAt := map[topology.NodeID]int{}
+	var matchOrder []topology.NodeID
+	addMatches := func(j topology.NodeID, ms []window.Match) {
+		if len(ms) > 0 {
+			if _, ok := matchesAt[j]; !ok {
+				matchOrder = append(matchOrder, j)
+			}
+			matchesAt[j] += len(ms)
+		}
+		for _, m := range ms {
+			if p, ok := e.byPair[[2]topology.NodeID{m.S, m.T}]; ok && p.est != nil {
+				p.est.ObserveResults(1)
+			}
+		}
+	}
+	for _, key := range e.order {
+		ps := e.prods[key]
+		if !cfg.Net.Alive(key.id) {
+			continue
+		}
+		v, send := cfg.Sampler.Sample(key.id, key.role, cycle)
+		if !send {
+			continue
+		}
+		ps.recent = append(ps.recent, window.Tuple{Producer: key.id, Value: v, Cycle: cycle})
+		if len(ps.recent) > cfg.Spec.W {
+			ps.recent = ps.recent[1:]
+		}
+		e.deliver(ps, v, cycle, addMatches)
+	}
+	for _, j := range matchOrder {
+		sendResults(cfg, e.rec, j, matchesAt[j], cycle)
+	}
+}
+
+// deliver sends producer ps's tuple to all its join nodes (multicast or
+// pairwise) and to the base for its base-joined pairs.
+func (e *engine) deliver(ps *producerState, v int32, cycle int, addMatches func(topology.NodeID, []window.Match)) {
+	cfg := e.cfg
+	// Base-side pairs: one tree-routed send serves all of them.
+	hasBase := false
+	for _, p := range ps.pairs {
+		if !p.dead && p.jIdx < 0 {
+			hasBase = true
+			break
+		}
+	}
+	if hasBase {
+		if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(ps.key.id), sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: topology.Base}); ok {
+			e.arriveAt(topology.Base, ps, v, cycle, addMatches)
+		}
+		// Base-station failure is outside the model (Appendix C assumes a
+		// powered, reliable base).
+	}
+	if e.opts.Multicast && ps.tree != nil {
+		e.deliverMulticast(ps, v, cycle, addMatches)
+		return
+	}
+	// Pairwise unicast with explicit path vectors.
+	delivered := map[topology.NodeID]bool{}
+	for _, p := range ps.pairs {
+		if p.dead || p.jIdx < 0 {
+			continue
+		}
+		j := p.joinNode()
+		if delivered[j] {
+			continue
+		}
+		delivered[j] = true
+		seg := p.sSegment()
+		if ps.key.role == query.T {
+			seg = p.tSegment()
+		}
+		// Data tuples carry no path vector: the nomination protocol left
+		// soft flow state (src, dst, next-hop) at intermediate nodes
+		// (Appendix E's data flow buffer), so steady-state payloads are
+		// just the tuple.
+		ok, _ := cfg.Net.Transfer(seg, sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: j, Path: seg})
+		if ok {
+			e.arriveAt(j, ps, v, cycle, addMatches)
+			continue
+		}
+		e.handleDeliveryFailure(ps, p, cycle)
+	}
+}
+
+// deliverMulticast walks the producer's tree edge by edge; a failed edge
+// prunes its subtree for this cycle. Cached interior state means the
+// payload is just the tuple.
+func (e *engine) deliverMulticast(ps *producerState, v int32, cycle int, addMatches func(topology.NodeID, []window.Match)) {
+	cfg := e.cfg
+	tree := ps.tree
+	reached := map[topology.NodeID]bool{ps.key.id: true}
+	joinNodes := map[topology.NodeID]bool{}
+	for _, p := range ps.pairs {
+		if !p.dead && p.jIdx >= 0 {
+			joinNodes[p.joinNode()] = true
+		}
+	}
+	anyFailure := false
+	for _, edge := range tree.EdgeList() {
+		parent, child := edge[0], edge[1]
+		if !reached[parent] {
+			continue
+		}
+		ok, _ := cfg.Net.Transfer(routing.Path{parent, child}, sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: child})
+		if !ok {
+			if !cfg.Net.Alive(child) {
+				anyFailure = true
+			}
+			continue
+		}
+		reached[child] = true
+	}
+	ordered := make([]topology.NodeID, 0, len(joinNodes))
+	for j := range joinNodes {
+		ordered = append(ordered, j)
+	}
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
+	for _, j := range ordered {
+		if reached[j] {
+			e.arriveAt(j, ps, v, cycle, addMatches)
+		}
+	}
+	if anyFailure {
+		for _, p := range ps.pairs {
+			if !p.dead && p.jIdx >= 0 && !cfg.Net.Alive(p.joinNode()) {
+				e.handleDeliveryFailure(ps, p, cycle)
+			}
+		}
+	}
+}
+
+// arriveAt feeds the tuple into the join state at j for every of ps's
+// pairs joined there, observing learning counters.
+func (e *engine) arriveAt(j topology.NodeID, ps *producerState, v int32, cycle int, addMatches func(topology.NodeID, []window.Match)) {
+	st := e.stateAt(j)
+	relevant := false
+	for _, p := range ps.pairs {
+		if p.dead || p.joinNode() != j {
+			continue
+		}
+		relevant = true
+		if p.est != nil {
+			if ps.key.role == query.S {
+				p.est.ObserveS()
+			} else {
+				p.est.ObserveT()
+			}
+		}
+	}
+	if !relevant {
+		return
+	}
+	addMatches(j, st.Arrive(ps.key.id, ps.key.role, v, cycle))
+}
+
+// --- Failure handling (section 7) --------------------------------------------
+
+// failureRecoveryCycles is how many sampling cycles a producer spends
+// detecting a silent join node (retransmission timeouts) and running the
+// limited-exploration repair before giving up and switching to the base
+// station. Section 7 observes the resulting result delay is about 6
+// cycles.
+const failureRecoveryCycles = 5
+
+// handleDeliveryFailure reacts to a failed transfer toward a pair's join
+// node: repair the path around an intermediate failure, or — when the join
+// node itself is gone — switch the pair to the base station, replaying the
+// producer's last w tuples so the base can reconstruct the join window.
+func (e *engine) handleDeliveryFailure(ps *producerState, p *pairState, cycle int) {
+	cfg := e.cfg
+	if !cfg.Net.Alive(p.s) || !cfg.Net.Alive(p.t) {
+		e.unregisterPair(p)
+		p.dead = true
+		return
+	}
+	j := p.joinNode()
+	if cfg.Net.Alive(j) {
+		// Intermediate node failed: limited-exploration repair of the
+		// full pair path (section 7, via [11]).
+		repaired, ok := routing.RepairPath(cfg.Topo, cfg.Net, p.path, routing.DefaultRepairLimit)
+		if ok {
+			// Re-locate the join node on the repaired path.
+			for i, n := range repaired {
+				if n == j {
+					p.path = repaired
+					p.jIdx = i
+					if e.opts.Multicast {
+						e.rebuildTree(ps, true)
+					}
+					return
+				}
+			}
+		}
+		// Repair failed or lost the join node: fall through to base.
+	}
+	// The join node is gone. Detection and repair attempts take several
+	// cycles before the producers switch strategies; tuples sent in the
+	// interim are lost (the paper's ~6-cycle result-delay bump).
+	if p.recoverAt == 0 {
+		p.recoverAt = cycle + failureRecoveryCycles
+		return
+	}
+	if cycle < p.recoverAt {
+		return
+	}
+	// Join node unreachable: switch to joining at the base, forwarding the
+	// last w tuples to rebuild the window.
+	e.unregisterPair(p)
+	p.jIdx = -1
+	e.stateAt(topology.Base).AddPair(p.s, p.t)
+	if len(ps.recent) > 0 {
+		path := cfg.Sub.PathToBase(ps.key.id)
+		if ok, _ := cfg.Net.Transfer(path, len(ps.recent)*sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: topology.Base}); ok {
+			e.stateAt(topology.Base).Restore(ps.recent)
+		}
+	}
+	if e.opts.Multicast {
+		e.rebuildTree(ps, true)
+	}
+}
+
+// --- Adaptive re-optimization (section 6) -------------------------------------
+
+func (e *engine) endCycleLearning(cycle int) {
+	migratedGroups := map[int]bool{}
+	for _, p := range e.pairs {
+		if p.dead || p.est == nil {
+			continue
+		}
+		fresh, triggered := p.est.EndCycle()
+		if !triggered {
+			continue
+		}
+		e.migratePair(p, fresh)
+		if e.opts.GroupOpt && p.group >= 0 && !migratedGroups[p.group] {
+			migratedGroups[p.group] = true
+			e.groupDecision(e.groups[p.group], fresh, true)
+			e.syncRegistrations(e.groups[p.group])
+		}
+	}
+}
+
+// migratePair re-runs placement with learned parameters and, when the join
+// node moves, transfers the pair's windows to the new node (charged along
+// the path between old and new location).
+func (e *engine) migratePair(p *pairState, learned costmodel.Params) {
+	oldIdx := p.jIdx
+	oldNode := p.joinNode()
+	e.placePairQuiet(p, learned)
+	if p.jIdx == oldIdx {
+		return
+	}
+	newNode := p.joinNode()
+	if newNode == oldNode {
+		return
+	}
+	// Transfer the join window: snapshot at the old node, ship along the
+	// connecting path, restore at the new node.
+	oldState := e.stateAt(oldNode)
+	tuples, bytes := oldState.Snapshot(p.s, p.t)
+	var path routing.Path
+	switch {
+	case oldIdx < 0: // base -> in-network
+		path = e.cfg.Sub.PathToBase(newNode).Reverse()
+	case p.jIdx < 0: // in-network -> base
+		path = e.cfg.Sub.PathToBase(oldNode)
+	default: // along the pair path
+		lo, hi := oldIdx, p.jIdx
+		if lo > hi {
+			seg := routing.Path(p.path[hi : lo+1]).Reverse()
+			path = seg
+		} else {
+			path = routing.Path(p.path[lo : hi+1])
+		}
+	}
+	delivered := true
+	if bytes > 0 {
+		delivered, _ = e.cfg.Net.Transfer(path, bytes, sim.Control, sim.Flow{})
+	}
+	// Nominate/notify the producers about the new join node.
+	if p.jIdx >= 0 {
+		e.cfg.Net.Transfer(p.tSegment(), nominationBytes, sim.Control, sim.Flow{})
+		e.cfg.Net.Transfer(routing.Path(p.path[:p.jIdx+1]).Reverse(), nominationBytes, sim.Control, sim.Flow{})
+	}
+	oldState.RemovePair(p.s, p.t)
+	newState := e.stateAt(newNode)
+	newState.AddPair(p.s, p.t)
+	if delivered {
+		newState.Restore(tuples)
+	}
+	e.res.Migrations++
+	if e.opts.Multicast {
+		e.rebuildTree(e.prods[producerKey{p.s, query.S}], true)
+		e.rebuildTree(e.prods[producerKey{p.t, query.T}], true)
+	}
+}
+
+// placePairQuiet re-places without nomination charges (migration charges
+// its own messages).
+func (e *engine) placePairQuiet(p *pairState, opt costmodel.Params) {
+	pl := core.PlacePair(e.placementParams(opt), p.path, e.cfg.Sub.DepthToBase, core.PlacePolicy(e.opts.PlacementOverride))
+	if pl.AtBase {
+		p.jIdx = -1
+	} else {
+		p.jIdx = pl.PathIndex
+	}
+}
+
+// syncRegistrations reconciles window registrations after a group-level
+// decision moved pairs without individual migration bookkeeping.
+func (e *engine) syncRegistrations(group []*pairState) {
+	for _, p := range group {
+		if p.dead {
+			continue
+		}
+		want := p.joinNode()
+		// Drop stale registrations elsewhere.
+		for j, st := range e.states {
+			if j != want {
+				st.RemovePair(p.s, p.t)
+			}
+		}
+		e.stateAt(want).AddPair(p.s, p.t)
+		if e.opts.Multicast {
+			e.rebuildTree(e.prods[producerKey{p.s, query.S}], false)
+			e.rebuildTree(e.prods[producerKey{p.t, query.T}], false)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package join implements the paper's join execution algorithms over the
+// simulator substrate: the grouped baselines Naive and Base (join at the
+// base station), the through-the-base algorithm of Yang+07, the GHT
+// grouped join, and the pairwise In-Net algorithm with cost-model join
+// node placement (section 3), including its MPO variants (multicast,
+// group optimization, path collapsing — section 5), adaptive selectivity
+// learning (section 6), and join-node failure recovery (section 7).
+package join
+
+import (
+	"repro/internal/costmodel"
+	"repro/internal/query"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config is everything one run needs. The same Config (and the same seeds
+// inside Net and Sampler) handed to different algorithms yields an
+// apples-to-apples comparison on identical data.
+type Config struct {
+	Topo    *topology.Topology
+	Net     *sim.Network
+	Sub     *routing.Substrate
+	Spec    *workload.Spec
+	Sampler workload.Sampler
+	// Opt carries the selectivity estimates the optimizer is given at
+	// initiation. They may be wrong; learning variants converge away from
+	// them.
+	Opt costmodel.Params
+	// Cycles is the number of sampling cycles to execute.
+	Cycles int
+
+	// FailNode/FailCycle inject a permanent node failure (section 7).
+	// FailNode < 0 disables injection.
+	FailNode  topology.NodeID
+	FailCycle int
+
+	// Merge enables Appendix E's opportunistic packet merging on the
+	// join-at-base data path: tuples sharing tree links ride one packet.
+	Merge bool
+}
+
+// NewConfig fills the failure fields with their disabled defaults.
+func NewConfig(topo *topology.Topology, net *sim.Network, sub *routing.Substrate, spec *workload.Spec, sampler workload.Sampler, opt costmodel.Params, cycles int) *Config {
+	return &Config{
+		Topo: topo, Net: net, Sub: sub, Spec: spec, Sampler: sampler,
+		Opt: opt, Cycles: cycles, FailNode: -1, FailCycle: -1,
+	}
+}
+
+// Result aggregates everything the paper's figures report about one run.
+type Result struct {
+	// Algorithm is the display name ("Naive", "Innet-cmg", ...).
+	Algorithm string
+	// InitBytes/InitMessages are the initiation-phase costs; the totals
+	// below include them. InitBaseBytes is the initiation traffic at the
+	// base station (Figure 6's comparison quantity).
+	InitBytes     int64
+	InitMessages  int64
+	InitBaseBytes int64
+	// TotalBytes etc. snapshot the network metrics at the end of the run.
+	TotalBytes    int64
+	TotalMessages int64
+	BaseBytes     int64
+	BaseMessages  int64
+	MaxNodeBytes  int64
+	NodeBytes     []int64
+	Drops         int64
+	// Results counts join results delivered to the base station.
+	Results int
+	// Delays records, per delivered result, the gap in sampling cycles
+	// since the previous delivered result (the paper's Fig 14 "result
+	// delay": how long the base waits between events).
+	Delays []int
+	// Migrations counts adaptive join-node moves (learning variants).
+	Migrations int
+	// AtBasePairs / InNetPairs report where pairs ended up.
+	AtBasePairs, InNetPairs int
+	// PairJoinNodes lists the final in-network join node of each pair
+	// (In-Net algorithms only), in pair-discovery order. Used by the
+	// failure experiments to pick a victim.
+	PairJoinNodes []topology.NodeID
+}
+
+// MeanDelay returns the average inter-result delay in cycles.
+func (r *Result) MeanDelay() float64 {
+	if len(r.Delays) == 0 {
+		return float64(0)
+	}
+	s := 0
+	for _, d := range r.Delays {
+		s += d
+	}
+	return float64(s) / float64(len(r.Delays))
+}
+
+// Algorithm is one join strategy.
+type Algorithm interface {
+	Name() string
+	Run(cfg *Config) *Result
+}
+
+// snapshotInit records initiation-phase costs into res.
+func snapshotInit(cfg *Config, res *Result) {
+	m := cfg.Net.Metrics()
+	res.InitBytes = m.TotalBytes
+	res.InitMessages = m.TotalMessages
+	res.InitBaseBytes = m.BaseBytes
+}
+
+// finish copies final metrics into res.
+func finish(cfg *Config, res *Result) *Result {
+	m := cfg.Net.Metrics()
+	res.TotalBytes = m.TotalBytes
+	res.TotalMessages = m.TotalMessages
+	res.BaseBytes = m.BaseBytes
+	res.BaseMessages = m.BaseMessages
+	res.MaxNodeBytes = m.MaxNodeBytes()
+	res.NodeBytes = append([]int64(nil), m.NodeBytes...)
+	res.Drops = m.Drops
+	return res
+}
+
+// recorder tracks result arrivals at the base and the inter-result delay.
+type recorder struct {
+	res       *Result
+	lastCycle int
+	any       bool
+}
+
+func newRecorder(res *Result) *recorder { return &recorder{res: res} }
+
+// record notes n results delivered at the given cycle.
+func (r *recorder) record(n, cycle int) {
+	for i := 0; i < n; i++ {
+		if r.any {
+			r.res.Delays = append(r.res.Delays, cycle-r.lastCycle)
+		}
+		r.any = true
+		r.lastCycle = cycle
+	}
+	r.res.Results += n
+}
+
+// sendResults forwards matches from join node j to the base station,
+// opportunistically merged into one physical packet per (join node, cycle)
+// — the Appendix E merging technique. Matches computed at the base itself
+// are recorded without traffic.
+func sendResults(cfg *Config, rec *recorder, j topology.NodeID, matches int, cycle int) {
+	if matches == 0 {
+		return
+	}
+	if j == topology.Base {
+		rec.record(matches, cycle)
+		return
+	}
+	path := cfg.Sub.PathToBase(j)
+	ok, _ := cfg.Net.Transfer(path, matches*sim.ResultBytes, sim.Result, sim.Flow{Src: j, Dst: topology.Base})
+	if ok {
+		rec.record(matches, cycle)
+	}
+}
+
+// maybeFail starts a sampling cycle: it resets the per-cycle relay queues
+// and applies the configured failure injection at the right cycle. Every
+// engine calls it at the top of its cycle loop.
+func maybeFail(cfg *Config, cycle int) {
+	cfg.Net.BeginCycle()
+	if cfg.FailNode >= 0 && cycle == cfg.FailCycle {
+		cfg.Net.Fail(cfg.FailNode)
+	}
+}
+
+// eligibleProducers enumerates (node, role) producer slots in node order.
+type producerSlot struct {
+	id   topology.NodeID
+	role query.Rel
+}
+
+func eligibleProducers(spec *workload.Spec, n int) []producerSlot {
+	var out []producerSlot
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		if spec.EligibleS(id) {
+			out = append(out, producerSlot{id, query.S})
+		}
+		if spec.EligibleT(id) {
+			out = append(out, producerSlot{id, query.T})
+		}
+	}
+	return out
+}
+
+// bothRoles reports whether the node fills both producer roles (Query 3's
+// symmetric join), in which case one physical reading serves both.
+func bothRoles(spec *workload.Spec, id topology.NodeID) bool {
+	return spec.EligibleS(id) && spec.EligibleT(id)
+}

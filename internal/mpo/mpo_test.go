@@ -1,0 +1,279 @@
+package mpo
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/geom"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestBuildMulticastSharesPrefix(t *testing.T) {
+	// Paths 0-1-2-3 and 0-1-4: shared prefix 0-1 transmitted once.
+	tree := BuildMulticast(0, []routing.Path{{0, 1, 2, 3}, {0, 1, 4}})
+	if tree.Edges() != 4 {
+		t.Fatalf("Edges = %d, want 4 (5 nodes)", tree.Edges())
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 2 || leaves[0] != 3 || leaves[1] != 4 {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+	// Separate unicast would cost 3+2=5 edges; the tree costs 4.
+	p := tree.PathTo(3)
+	if p.Hops() != 3 || p[0] != 0 {
+		t.Fatalf("PathTo(3) = %v", p)
+	}
+	if tree.PathTo(99) != nil {
+		t.Fatal("PathTo unknown node should be nil")
+	}
+}
+
+func TestBuildMulticastDivergentRemeet(t *testing.T) {
+	// Two paths that remeet at node 5 must still form a tree.
+	tree := BuildMulticast(0, []routing.Path{{0, 1, 5, 7}, {0, 2, 5, 8}})
+	if tree.Edges() != len(tree.Nodes())-1 {
+		t.Fatalf("not a tree: %d edges for %d nodes", tree.Edges(), len(tree.Nodes()))
+	}
+	// Node 5 keeps its first parent (1), so 8 is reachable via 1-5.
+	p := tree.PathTo(8)
+	if p == nil || p[len(p)-1] != 8 {
+		t.Fatalf("PathTo(8) = %v", p)
+	}
+}
+
+func TestBuildMulticastPanicsOnForeignPath(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for path not rooted at producer")
+		}
+	}()
+	BuildMulticast(0, []routing.Path{{1, 2}})
+}
+
+func TestEdgeListMatchesEdges(t *testing.T) {
+	tree := BuildMulticast(0, []routing.Path{{0, 1, 2}, {0, 1, 3}, {0, 4}})
+	el := tree.EdgeList()
+	if len(el) != tree.Edges() {
+		t.Fatalf("EdgeList has %d entries, Edges() = %d", len(el), tree.Edges())
+	}
+	for _, e := range el {
+		if e[0] == e[1] {
+			t.Fatalf("self edge %v", e)
+		}
+	}
+}
+
+func TestInteriorStateBytes(t *testing.T) {
+	// Node 1 has two children (2 and 3): it caches state for its subtree
+	// {1,2,3} = 3 entries. Root fan-out is excluded (the producer itself
+	// holds the tree).
+	tree := BuildMulticast(0, []routing.Path{{0, 1, 2}, {0, 1, 3}})
+	if got := tree.InteriorStateBytes(1); got != 3 {
+		t.Fatalf("InteriorStateBytes = %d, want 3", got)
+	}
+	// A pure chain has no branching interior nodes.
+	chain := BuildMulticast(0, []routing.Path{{0, 1, 2, 3}})
+	if got := chain.InteriorStateBytes(1); got != 0 {
+		t.Fatalf("chain InteriorStateBytes = %d, want 0", got)
+	}
+}
+
+// ladder builds two parallel 5-hop chains from node 0 with rungs between
+// them:
+//
+//	0 - 1 - 2 - 3 - 4   (to join node 4)
+//	 \  5 - 6 - 7 - 8   (to join node 8)
+//
+// with links 1-5, 2-6, 3-7 making collapses possible.
+func ladder() *topology.Topology {
+	pos := []geom.Point{
+		{X: 0, Y: 0.5},
+		{X: 1, Y: 0}, {X: 2, Y: 0}, {X: 3, Y: 0}, {X: 4, Y: 0},
+		{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1}, {X: 4, Y: 1},
+	}
+	return topology.FromPositions(pos, 1.2)
+}
+
+func TestFindCollapses(t *testing.T) {
+	topo := ladder()
+	paths := []routing.Path{{0, 1, 2, 3, 4}, {0, 5, 6, 7, 8}}
+	opps := FindCollapses(topo, paths)
+	if len(opps) == 0 {
+		t.Fatal("no collapse opportunities found on the ladder")
+	}
+	for _, o := range opps {
+		if !topo.IsNeighbor(o.N1, o.N2) {
+			t.Fatalf("opportunity nodes %d,%d not adjacent", o.N1, o.N2)
+		}
+	}
+}
+
+func TestFindCollapsesRequiresDisjointPaths(t *testing.T) {
+	topo := ladder()
+	// Paths sharing node 1 are not node-disjoint: no opportunities.
+	paths := []routing.Path{{0, 1, 2, 3}, {0, 1, 5, 6}}
+	if opps := FindCollapses(topo, paths); len(opps) != 0 {
+		t.Fatalf("found %d opportunities on overlapping paths", len(opps))
+	}
+}
+
+func TestApplyCollapsesReducesTreeCost(t *testing.T) {
+	topo := ladder()
+	paths := []routing.Path{{0, 1, 2, 3, 4}, {0, 5, 6, 7, 8}}
+	before := BuildMulticast(0, paths).Edges()
+	opps := FindCollapses(topo, paths)
+	newPaths, send, applied := ApplyCollapses(topo, 0, paths, opps)
+	if applied == 0 {
+		t.Fatal("no collapse applied on the ladder")
+	}
+	after := BuildMulticast(0, newPaths).Edges()
+	if after >= before {
+		t.Fatalf("collapse did not reduce cost: %d -> %d", before, after)
+	}
+	if send.Edges() > before {
+		t.Fatal("send tree worse than original")
+	}
+	// Rerouted paths must stay link-valid and still reach both join nodes.
+	dests := map[topology.NodeID]bool{}
+	for _, p := range newPaths {
+		for i := 1; i < len(p); i++ {
+			if !topo.IsNeighbor(p[i-1], p[i]) {
+				t.Fatalf("collapsed path not link-valid: %v", p)
+			}
+		}
+		dests[p[len(p)-1]] = true
+	}
+	if !dests[4] || !dests[8] {
+		t.Fatalf("collapse lost a join node: %v", newPaths)
+	}
+}
+
+func TestApplyCollapsesNoOpportunities(t *testing.T) {
+	topo := ladder()
+	paths := []routing.Path{{0, 1, 2, 3, 4}}
+	out, send, applied := ApplyCollapses(topo, 0, paths, nil)
+	if applied != 0 || send.Edges() != 4 || len(out) != 1 {
+		t.Fatal("no-op collapse changed state")
+	}
+}
+
+func TestGroupOptDecision(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 25, 1)
+	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 1}, nil)
+	// Strongly in-network-favouring: join nodes adjacent to producers and
+	// to the root, producers far from the root.
+	inNet := []ProducerCost{
+		{Producer: 10, SigmaP: 1, DPR: 8, JoinNodes: []costmodel.GroupJoinNode{{DPJ: 1, NPJ: 1, DJR: 1}}},
+		{Producer: 11, SigmaP: 1, DPR: 8, JoinNodes: []costmodel.GroupJoinNode{{DPJ: 1, NPJ: 1, DJR: 1}}},
+	}
+	if d := GroupOpt(sub, nil, inNet, 0.05, 1); d != DecideInNet {
+		t.Fatalf("decision = %v, want in-network", d)
+	}
+	// Base-favouring: producers next to the root, join nodes far away.
+	atBase := []ProducerCost{
+		{Producer: 10, SigmaP: 1, DPR: 1, JoinNodes: []costmodel.GroupJoinNode{{DPJ: 6, NPJ: 3, DJR: 7}}},
+	}
+	if d := GroupOpt(sub, nil, atBase, 0.2, 3); d != DecideBase {
+		t.Fatalf("decision = %v, want base", d)
+	}
+	if GroupOpt(sub, nil, nil, 0.2, 3) != DecideInNet {
+		t.Fatal("empty group should default to in-network")
+	}
+}
+
+func TestGroupOptChargesCoordination(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 25, 1)
+	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 1}, nil)
+	net := sim.NewNetwork(topo, 0, 1)
+	producers := []ProducerCost{
+		{Producer: 3, SigmaP: 1, DPR: 2, JoinNodes: []costmodel.GroupJoinNode{{DPJ: 1, NPJ: 1, DJR: 2}}},
+		{Producer: 7, SigmaP: 1, DPR: 3, JoinNodes: []costmodel.GroupJoinNode{{DPJ: 1, NPJ: 1, DJR: 2}}},
+		{Producer: 12, SigmaP: 1, DPR: 4, JoinNodes: []costmodel.GroupJoinNode{{DPJ: 2, NPJ: 1, DJR: 3}}},
+	}
+	GroupOpt(sub, net, producers, 0.1, 3)
+	m := net.Metrics()
+	if m.TotalBytes == 0 {
+		t.Fatal("GROUPOPT coordination was free")
+	}
+	// Coordinator is node 3: it neither sends deltas nor receives its own
+	// decision; members 7 and 12 each send one delta and receive one
+	// decision = 4 transfers.
+	if m.TotalMessages < 4 {
+		t.Fatalf("TotalMessages = %d, want >= 4", m.TotalMessages)
+	}
+}
+
+func TestGroupDecisionString(t *testing.T) {
+	if DecideBase.String() != "base" || DecideInNet.String() != "in-network" {
+		t.Fatal("GroupDecision labels wrong")
+	}
+}
+
+func TestApplyCollapsesPropertyRandomTopologies(t *testing.T) {
+	// Property: on arbitrary topologies and path sets, collapsing never
+	// loses a destination, never produces a link-invalid path, and never
+	// increases the multicast tree cost.
+	for seed := uint64(1); seed <= 8; seed++ {
+		topo := topology.Generate(topology.ModerateRandom, 60, seed)
+		sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 2}, nil)
+		root := topology.NodeID(1)
+		var paths []routing.Path
+		for _, dst := range []topology.NodeID{11, 23, 37, 51} {
+			paths = append(paths, sub.BestTreePath(root, dst))
+		}
+		before := BuildMulticast(root, paths).Edges()
+		opps := FindCollapses(topo, paths)
+		newPaths, send, _ := ApplyCollapses(topo, root, paths, opps)
+		after := BuildMulticast(root, newPaths).Edges()
+		if after > before {
+			t.Fatalf("seed %d: collapse increased cost %d -> %d", seed, before, after)
+		}
+		if send.Edges() > before {
+			t.Fatalf("seed %d: send tree worse than original", seed)
+		}
+		wantDst := map[topology.NodeID]bool{11: true, 23: true, 37: true, 51: true}
+		for _, p := range newPaths {
+			if !wantDst[p[len(p)-1]] {
+				t.Fatalf("seed %d: destination changed: %v", seed, p)
+			}
+			if p[0] != root {
+				t.Fatalf("seed %d: root changed: %v", seed, p)
+			}
+			for i := 1; i < len(p); i++ {
+				if !topo.IsNeighbor(p[i-1], p[i]) {
+					t.Fatalf("seed %d: invalid link in %v", seed, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMulticastTreeReachesAllLeavesProperty(t *testing.T) {
+	// Property: every path endpoint is reachable from the root through
+	// tree edges, regardless of how paths overlap.
+	for seed := uint64(1); seed <= 10; seed++ {
+		topo := topology.Generate(topology.MediumRandom, 50, seed)
+		sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 3}, nil)
+		root := topology.NodeID(2)
+		dsts := []topology.NodeID{7, 19, 31, 43, 49}
+		var paths []routing.Path
+		for _, d := range dsts {
+			paths = append(paths, sub.BestTreePath(root, d))
+		}
+		tree := BuildMulticast(root, paths)
+		reached := map[topology.NodeID]bool{root: true}
+		for _, e := range tree.EdgeList() {
+			if !reached[e[0]] {
+				t.Fatalf("seed %d: edge list not topological at %v", seed, e)
+			}
+			reached[e[1]] = true
+		}
+		for _, d := range dsts {
+			if !reached[d] {
+				t.Fatalf("seed %d: leaf %d unreachable", seed, d)
+			}
+		}
+	}
+}

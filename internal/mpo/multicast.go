@@ -1,0 +1,160 @@
+// Package mpo implements the paper's multi-pair optimization machinery
+// (section 5 and Appendix E): producer-rooted multicast trees with cached
+// interior state, the opportunistic path-collapsing optimization
+// (Algorithms 2 and 3), and the decentralized group optimization GROUPOPT
+// (Algorithm 1) that chooses, per join group, between pairwise in-network
+// joins and a grouped join at the base station.
+package mpo
+
+import (
+	"sort"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// MulticastTree is a tree rooted at a producer, spanning the producer's
+// join nodes, built from the union of its established point-to-point
+// paths. Interior nodes cache the subtree state, so data messages carry no
+// path vectors (the transmission-compression feature of section 5.1).
+type MulticastTree struct {
+	Root topology.NodeID
+	// parent[n] is n's predecessor toward the root for every node on the
+	// tree; the root maps to -1.
+	parent map[topology.NodeID]topology.NodeID
+	// leaves are the join nodes the tree must reach.
+	leaves map[topology.NodeID]bool
+}
+
+// BuildMulticast unions the given root-originated paths into a tree. Each
+// path must start at root. Later paths reuse earlier paths' prefixes: a
+// node already on the tree keeps its existing parent, so the result is a
+// tree even when paths diverge and remeet (the first-established route
+// wins, as in the implementation's soft-state flow tables).
+func BuildMulticast(root topology.NodeID, paths []routing.Path) *MulticastTree {
+	t := &MulticastTree{
+		Root:   root,
+		parent: map[topology.NodeID]topology.NodeID{root: -1},
+		leaves: map[topology.NodeID]bool{},
+	}
+	for _, p := range paths {
+		if len(p) == 0 {
+			continue
+		}
+		if p[0] != root {
+			panic("mpo: multicast path does not start at the root producer")
+		}
+		for i := 1; i < len(p); i++ {
+			if _, on := t.parent[p[i]]; !on {
+				// The previous hop is always on the tree (p[0] is the
+				// root and earlier hops were just added), so attaching to
+				// it keeps the structure a connected tree.
+				t.parent[p[i]] = p[i-1]
+			}
+		}
+		t.leaves[p[len(p)-1]] = true
+	}
+	return t
+}
+
+// Edges returns the number of tree edges — the per-tuple transmission cost
+// of one multicast dissemination.
+func (t *MulticastTree) Edges() int { return len(t.parent) - 1 }
+
+// Nodes returns all tree nodes in ascending order.
+func (t *MulticastTree) Nodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(t.parent))
+	for n := range t.parent {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Leaves returns the join nodes reached, in ascending order.
+func (t *MulticastTree) Leaves() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(t.leaves))
+	for n := range t.leaves {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathTo returns the tree path from the root to node n, or nil when n is
+// not on the tree.
+func (t *MulticastTree) PathTo(n topology.NodeID) routing.Path {
+	if _, ok := t.parent[n]; !ok {
+		return nil
+	}
+	var rev routing.Path
+	for at := n; at != -1; at = t.parent[at] {
+		rev = append(rev, at)
+	}
+	return rev.Reverse()
+}
+
+// EdgeList returns (parent, child) pairs in root-to-leaf (topological)
+// order: an edge never appears before the edge delivering to its parent,
+// so walking the list transmission by transmission models one multicast
+// dissemination correctly even when an edge fails and prunes its subtree.
+// Sibling order is ascending child ID for determinism.
+func (t *MulticastTree) EdgeList() [][2]topology.NodeID {
+	kids := map[topology.NodeID][]topology.NodeID{}
+	for n, p := range t.parent {
+		if p != -1 {
+			kids[p] = append(kids[p], n)
+		}
+	}
+	for _, cs := range kids {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	out := make([][2]topology.NodeID, 0, t.Edges())
+	queue := []topology.NodeID{t.Root}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, c := range kids[p] {
+			out = append(out, [2]topology.NodeID{p, c})
+			queue = append(queue, c)
+		}
+	}
+	return out
+}
+
+// InteriorStateBytes is the one-time cost of pushing cached subtree state
+// to interior nodes with more than one child (section 5.1: the producer
+// "needs to address only a few i nodes" afterwards). It is charged when
+// the tree is installed or updated.
+func (t *MulticastTree) InteriorStateBytes(perNodeBytes int) int {
+	kids := map[topology.NodeID]int{}
+	for n, p := range t.parent {
+		if p != -1 {
+			kids[p]++
+		}
+		_ = n
+	}
+	total := 0
+	for n, k := range kids {
+		if k > 1 && n != t.Root {
+			// State encodes the subtree below n: one entry per descendant.
+			total += perNodeBytes * t.subtreeSize(n)
+		}
+	}
+	return total
+}
+
+func (t *MulticastTree) subtreeSize(root topology.NodeID) int {
+	n := 0
+	for node := range t.parent {
+		at := node
+		for at != -1 {
+			if at == root {
+				n++
+				break
+			}
+			at = t.parent[at]
+		}
+	}
+	return n
+}

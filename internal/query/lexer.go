@@ -1,0 +1,152 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens for the StreamSQL-style query language
+// of Appendix B.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokOp  // arithmetic: + - * / %
+	tokCmp // comparison: = != <> < <= > >=
+	tokKeyword
+)
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true,
+	"WINDOWSIZE": true, "SAMPLEINTERVAL": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes a query string.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning an error with position info on unexpected
+// characters.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos - len(text)})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && (isIdentStart(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos]))) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if keywords[strings.ToUpper(text)] {
+		l.emit(tokKeyword, strings.ToUpper(text))
+		return
+	}
+	l.emit(tokIdent, text)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+}
+
+func (l *lexer) lexSymbol() error {
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch {
+	case two == "!=" || two == "<>" || two == "<=" || two == ">=":
+		l.pos += 2
+		l.emit(tokCmp, two)
+	case c == '=' || c == '<' || c == '>':
+		l.pos++
+		l.emit(tokCmp, string(c))
+	case c == '+' || c == '-' || c == '*' || c == '/' || c == '%':
+		l.pos++
+		l.emit(tokOp, string(c))
+	case c == ',':
+		l.pos++
+		l.emit(tokComma, ",")
+	case c == '.':
+		l.pos++
+		l.emit(tokDot, ".")
+	case c == '(':
+		l.pos++
+		l.emit(tokLParen, "(")
+	case c == ')':
+		l.pos++
+		l.emit(tokRParen, ")")
+	case c == '[':
+		l.pos++
+		l.emit(tokLBracket, "[")
+	case c == ']':
+		l.pos++
+		l.emit(tokRBracket, "]")
+	default:
+		return fmt.Errorf("query: unexpected character %q at offset %d", c, l.pos)
+	}
+	return nil
+}

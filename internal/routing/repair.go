@@ -1,0 +1,133 @@
+package routing
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// DefaultRepairLimit bounds the limited-exploration repair to a small
+// neighbourhood, per [11]: repair is local or it is abandoned in favour of
+// falling back to the base station (section 7).
+const DefaultRepairLimit = 3
+
+// RepairPath attempts the limited-exploration repair of section 7: for each
+// failed node on path, the preceding live node searches its bounded
+// neighbourhood (at most limit hops, avoiding failed nodes) for a detour to
+// the following live node. Exploration traffic (one probe per edge
+// examined) is charged to net. It returns the repaired path and whether
+// repair succeeded; failure of an endpoint is never repairable.
+func RepairPath(topo *topology.Topology, net *sim.Network, path Path, limit int) (Path, bool) {
+	if limit <= 0 {
+		limit = DefaultRepairLimit
+	}
+	out := path.Clone()
+	for {
+		i := -1
+		for idx, id := range out {
+			if !net.Alive(id) {
+				i = idx
+				break
+			}
+		}
+		if i == -1 {
+			return out, true
+		}
+		if i == 0 || i == len(out)-1 {
+			return nil, false // endpoint failed; cannot repair
+		}
+		pred, succ := out[i-1], out[i+1]
+		detour, ok := boundedDetour(topo, net, pred, succ, limit)
+		if !ok {
+			return nil, false
+		}
+		repaired := make(Path, 0, len(out)+len(detour))
+		repaired = append(repaired, out[:i]...)
+		repaired = append(repaired, detour[1:]...)
+		repaired = append(repaired, out[i+2:]...)
+		out = dedupeLoops(repaired)
+	}
+}
+
+// boundedDetour BFS-searches from pred for succ within limit hops, skipping
+// failed nodes, charging one probe per explored edge. Ties break toward
+// lower node IDs for determinism.
+func boundedDetour(topo *topology.Topology, net *sim.Network, pred, succ topology.NodeID, limit int) (Path, bool) {
+	type state struct {
+		id   topology.NodeID
+		hops int
+	}
+	parent := map[topology.NodeID]topology.NodeID{pred: -1}
+	queue := []state{{pred, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.hops == limit {
+			continue
+		}
+		for _, nb := range topo.Neighbors(cur.id) {
+			if _, seen := parent[nb]; seen {
+				continue
+			}
+			if !net.Alive(nb) {
+				continue
+			}
+			// One probe transmission per explored edge.
+			net.Transfer(Path{cur.id, nb}, probeKeyBytes, sim.Control, sim.Flow{})
+			parent[nb] = cur.id
+			if nb == succ {
+				var detour Path
+				for at := succ; at != -1; at = parent[at] {
+					detour = append(detour, at)
+				}
+				return detour.Reverse(), true
+			}
+			queue = append(queue, state{nb, cur.hops + 1})
+		}
+	}
+	return nil, false
+}
+
+// Shortcut compresses a discovered path by skipping ahead whenever a later
+// path node is a direct radio neighbour of an earlier one. The multi-tree
+// substrate applies this as the response path vector travels back to the
+// initiator: every node on the path knows its one-hop neighbourhood, so a
+// detour through the tree structure that re-enters the neighbourhood is
+// cut out. The result is link-valid, loop-free, and never longer.
+func Shortcut(topo *topology.Topology, p Path) Path {
+	if len(p) < 3 {
+		return p.Clone()
+	}
+	out := Path{p[0]}
+	i := 0
+	for i < len(p)-1 {
+		// Jump to the farthest later node directly reachable from p[i].
+		next := i + 1
+		for j := len(p) - 1; j > i+1; j-- {
+			if topo.IsNeighbor(p[i], p[j]) {
+				next = j
+				break
+			}
+		}
+		out = append(out, p[next])
+		i = next
+	}
+	return out
+}
+
+// dedupeLoops removes any cycle introduced by splicing a detour that
+// rejoins the original path early: if a node appears twice, the segment
+// between occurrences is cut.
+func dedupeLoops(p Path) Path {
+	last := make(map[topology.NodeID]int, len(p))
+	for i, id := range p {
+		last[id] = i
+	}
+	out := make(Path, 0, len(p))
+	for i := 0; i < len(p); i++ {
+		out = append(out, p[i])
+		if j := last[p[i]]; j > i {
+			i = j // skip ahead to the final occurrence
+		}
+	}
+	return out
+}

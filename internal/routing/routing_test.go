@@ -1,0 +1,508 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/summary"
+	"repro/internal/topology"
+)
+
+func moderate(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.Generate(topology.ModerateRandom, 100, 1)
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := Path{1, 2, 3}
+	if p.Hops() != 2 {
+		t.Fatal("Hops")
+	}
+	if (Path{5}).Hops() != 0 || Path(nil).Hops() != 0 {
+		t.Fatal("degenerate Hops")
+	}
+	r := p.Reverse()
+	if r[0] != 3 || r[2] != 1 {
+		t.Fatalf("Reverse = %v", r)
+	}
+	if !p.Contains(2) || p.Contains(9) {
+		t.Fatal("Contains")
+	}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone aliases")
+	}
+	c := Path{1, 2}.Concat(Path{2, 3, 4})
+	if len(c) != 4 || c[3] != 4 {
+		t.Fatalf("Concat = %v", c)
+	}
+}
+
+func TestConcatPanicsOnGap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Concat with gap did not panic")
+		}
+	}()
+	Path{1, 2}.Concat(Path{3, 4})
+}
+
+func TestBuildTreeStructure(t *testing.T) {
+	topo := moderate(t)
+	tree := BuildTree(topo, topology.Base, nil)
+	if tree.Parent[topology.Base] != -1 || tree.Depth[topology.Base] != 0 {
+		t.Fatal("root malformed")
+	}
+	for i := 1; i < topo.N(); i++ {
+		id := topology.NodeID(i)
+		p := tree.Parent[id]
+		if !topo.IsNeighbor(id, p) {
+			t.Fatalf("parent of %d is not a neighbour", i)
+		}
+		if tree.Depth[id] != tree.Depth[p]+1 {
+			t.Fatalf("depth inconsistency at %d", i)
+		}
+	}
+}
+
+func TestBuildTreeChargesBeacons(t *testing.T) {
+	topo := moderate(t)
+	net := sim.NewNetwork(topo, 0, 1)
+	BuildTree(topo, topology.Base, net)
+	if net.Metrics().TotalMessages != int64(topo.N()) {
+		t.Fatalf("beacons = %d, want %d", net.Metrics().TotalMessages, topo.N())
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	topo := moderate(t)
+	tree := BuildTree(topo, topology.Base, nil)
+	for i := 0; i < topo.N(); i++ {
+		p := tree.PathToRoot(topology.NodeID(i))
+		if p[0] != topology.NodeID(i) || p[len(p)-1] != topology.Base {
+			t.Fatalf("PathToRoot(%d) endpoints wrong: %v", i, p)
+		}
+		if p.Hops() != tree.Depth[i] {
+			t.Fatalf("PathToRoot(%d) hops %d != depth %d", i, p.Hops(), tree.Depth[i])
+		}
+	}
+}
+
+func TestTreePathValid(t *testing.T) {
+	topo := moderate(t)
+	tree := BuildTree(topo, topology.Base, nil)
+	f := func(aRaw, bRaw uint8) bool {
+		a := topology.NodeID(int(aRaw) % topo.N())
+		b := topology.NodeID(int(bRaw) % topo.N())
+		p := tree.TreePath(a, b)
+		if p[0] != a || p[len(p)-1] != b {
+			return false
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !topo.IsNeighbor(p[i], p[i+1]) {
+				return false
+			}
+		}
+		// A tree path never exceeds up-to-root-and-down.
+		return p.Hops() <= tree.Depth[a]+tree.Depth[b]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtreePartition(t *testing.T) {
+	topo := moderate(t)
+	tree := BuildTree(topo, topology.Base, nil)
+	all := tree.Subtree(topology.Base)
+	if len(all) != topo.N() {
+		t.Fatalf("root subtree has %d nodes, want %d", len(all), topo.N())
+	}
+	seen := make(map[topology.NodeID]bool)
+	for _, id := range all {
+		if seen[id] {
+			t.Fatalf("node %d appears twice in preorder", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestMultiTreeRootsSpread(t *testing.T) {
+	topo := moderate(t)
+	s := NewSubstrate(topo, Options{NumTrees: 3}, nil)
+	if len(s.Trees) != 3 {
+		t.Fatalf("tree count = %d", len(s.Trees))
+	}
+	if s.Trees[0].Root != topology.Base {
+		t.Fatal("tree 0 not rooted at base")
+	}
+	// Roots must be pairwise distinct and far apart.
+	r1, r2 := s.Trees[1].Root, s.Trees[2].Root
+	if r1 == topology.Base || r2 == topology.Base || r1 == r2 {
+		t.Fatalf("roots not distinct: %v %v", r1, r2)
+	}
+	if topo.Hops(topology.Base, r1) < 3 {
+		t.Fatalf("second root only %d hops from base", topo.Hops(topology.Base, r1))
+	}
+}
+
+func TestMoreTreesShortenPaths(t *testing.T) {
+	// The headline substrate property (Fig 16a): average best-tree path
+	// length decreases as trees are added.
+	topo := moderate(t)
+	avg := func(k int) float64 {
+		s := NewSubstrate(topo, Options{NumTrees: k}, nil)
+		total, count := 0, 0
+		for a := 0; a < topo.N(); a += 7 {
+			for b := 0; b < topo.N(); b += 11 {
+				if a == b {
+					continue
+				}
+				total += s.BestTreePath(topology.NodeID(a), topology.NodeID(b)).Hops()
+				count++
+			}
+		}
+		return float64(total) / float64(count)
+	}
+	a1, a3 := avg(1), avg(3)
+	if a3 >= a1 {
+		t.Fatalf("3 trees (%v hops) not shorter than 1 tree (%v hops)", a3, a1)
+	}
+}
+
+func TestSubstrateIndexedSearch(t *testing.T) {
+	topo := moderate(t)
+	vals := make([]int32, topo.N())
+	for i := range vals {
+		vals[i] = int32(i % 10)
+	}
+	s := NewSubstrate(topo, Options{
+		NumTrees: 2,
+		Indexes:  []IndexSpec{{Attr: "k", Kind: BloomSummary, Values: vals}},
+	}, nil)
+	// Search for nodes with k == 4 from node 1.
+	m := &keyMatcher{attr: "k", key: 4, vals: vals}
+	found := s.FindTargets(1, m, nil)
+	want := 0
+	for i, v := range vals {
+		if v == 4 && i != 1 {
+			want++
+		}
+	}
+	if len(found) != want {
+		t.Fatalf("found %d targets, want %d", len(found), want)
+	}
+	for target, p := range found {
+		if vals[target] != 4 {
+			t.Fatalf("non-matching target %d", target)
+		}
+		if p[0] != 1 || p[len(p)-1] != target {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		for i := 0; i+1 < len(p); i++ {
+			if !topo.IsNeighbor(p[i], p[i+1]) {
+				t.Fatalf("path not link-valid: %v", p)
+			}
+		}
+	}
+}
+
+// keyMatcher matches nodes whose static attribute equals key, pruning with
+// the attribute summary.
+type keyMatcher struct {
+	attr string
+	key  int32
+	vals []int32
+}
+
+func (m *keyMatcher) MatchNode(id topology.NodeID) bool { return m.vals[id] == m.key }
+func (m *keyMatcher) MayMatchSubtree(e *Entry) bool {
+	return e.Scalars[m.attr].MayContain(m.key)
+}
+
+func TestSearchFindsAllDespiteSummaryPruning(t *testing.T) {
+	// No-false-negative end-to-end: pruned search must find exactly the
+	// same target set as unpruned search.
+	topo := moderate(t)
+	vals := make([]int32, topo.N())
+	for i := range vals {
+		vals[i] = int32((i * 7) % 23)
+	}
+	s := NewSubstrate(topo, Options{
+		NumTrees: 3,
+		Indexes:  []IndexSpec{{Attr: "k", Kind: BloomSummary, Values: vals}},
+	}, nil)
+	for key := int32(0); key < 23; key++ {
+		pruned := s.FindTargets(5, &keyMatcher{attr: "k", key: key, vals: vals}, nil)
+		targets := map[topology.NodeID]bool{}
+		for i, v := range vals {
+			if v == key {
+				targets[topology.NodeID(i)] = true
+			}
+		}
+		unpruned := s.FindTargets(5, MatchAll{Targets: targets}, nil)
+		if len(pruned) != len(unpruned) {
+			t.Fatalf("key %d: pruned found %d, unpruned %d", key, len(pruned), len(unpruned))
+		}
+	}
+}
+
+func TestSearchChargesTraffic(t *testing.T) {
+	topo := moderate(t)
+	vals := make([]int32, topo.N())
+	for i := range vals {
+		vals[i] = int32(i % 50)
+	}
+	s := NewSubstrate(topo, Options{
+		NumTrees: 2,
+		Indexes:  []IndexSpec{{Attr: "k", Kind: BloomSummary, Values: vals}},
+	}, nil)
+	netPruned := sim.NewNetwork(topo, 0, 1)
+	s.FindTargets(1, &keyMatcher{attr: "k", key: 3, vals: vals}, netPruned)
+	netFlood := sim.NewNetwork(topo, 0, 1)
+	targets := map[topology.NodeID]bool{}
+	for i, v := range vals {
+		if v == 3 {
+			targets[topology.NodeID(i)] = true
+		}
+	}
+	s.FindTargets(1, MatchAll{Targets: targets}, netFlood)
+	if netPruned.Metrics().TotalBytes == 0 {
+		t.Fatal("search charged no traffic")
+	}
+	if netPruned.Metrics().TotalBytes >= netFlood.Metrics().TotalBytes {
+		t.Fatalf("pruned search (%d B) not cheaper than flooding (%d B)",
+			netPruned.Metrics().TotalBytes, netFlood.Metrics().TotalBytes)
+	}
+}
+
+func TestSubstrateConstructionCharged(t *testing.T) {
+	topo := moderate(t)
+	vals := make([]int32, topo.N())
+	net := sim.NewNetwork(topo, 0, 1)
+	NewSubstrate(topo, Options{
+		NumTrees: 2,
+		Indexes:  []IndexSpec{{Attr: "k", Kind: BloomSummary, Values: vals}},
+	}, net)
+	m := net.Metrics()
+	// 2 trees x (100 beacons + 99 summary ships).
+	if m.TotalMessages != 2*int64(topo.N()+topo.N()-1) {
+		t.Fatalf("construction messages = %d", m.TotalMessages)
+	}
+}
+
+func TestEntrySummaryKinds(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 16, 1)
+	vals := make([]int32, topo.N())
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	s := NewSubstrate(topo, Options{
+		NumTrees: 1,
+		Indexes: []IndexSpec{
+			{Attr: "b", Kind: BloomSummary, Values: vals},
+			{Attr: "i", Kind: IntervalSummary, Values: vals},
+			{Attr: "h", Kind: HistogramSummary, Values: vals, Lo: 0, Hi: 15},
+		},
+		IndexPositions: true,
+	}, nil)
+	root := s.Entry(0, topology.Base)
+	if _, ok := root.Scalars["b"].(*summary.Bloom); !ok {
+		t.Fatal("b not a bloom")
+	}
+	iv, ok := root.Scalars["i"].(*summary.Interval)
+	if !ok {
+		t.Fatal("i not an interval")
+	}
+	min, max, _ := iv.Bounds()
+	if min != 0 || max != int32(topo.N()-1) {
+		t.Fatalf("root interval (%d,%d)", min, max)
+	}
+	if root.Region == nil {
+		t.Fatal("positions not indexed")
+	}
+	if !root.Region.MayContainWithin(topo.Pos(5), 0.1) {
+		t.Fatal("root region missing node position")
+	}
+}
+
+func TestRepairPathDetours(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 100, 1)
+	net := sim.NewNetwork(topo, 0, 1)
+	tree := BuildTree(topo, topology.Base, nil)
+	// A path through the grid interior.
+	var victim topology.NodeID = -1
+	var path Path
+	for i := topo.N() - 1; i > 0; i-- {
+		p := tree.PathToRoot(topology.NodeID(i))
+		if p.Hops() >= 4 {
+			path = p
+			victim = p[2]
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no long path found")
+	}
+	net.Fail(victim)
+	repaired, ok := RepairPath(topo, net, path, DefaultRepairLimit)
+	if !ok {
+		t.Fatal("repair failed on a grid (detour always exists)")
+	}
+	if repaired.Contains(victim) {
+		t.Fatal("repaired path still uses failed node")
+	}
+	if repaired[0] != path[0] || repaired[len(repaired)-1] != path[len(path)-1] {
+		t.Fatal("repair changed endpoints")
+	}
+	for i := 0; i+1 < len(repaired); i++ {
+		if !topo.IsNeighbor(repaired[i], repaired[i+1]) {
+			t.Fatalf("repaired path not link-valid: %v", repaired)
+		}
+	}
+	if net.Metrics().TotalBytes == 0 {
+		t.Fatal("repair exploration was free")
+	}
+}
+
+func TestRepairEndpointFailureUnrepairable(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 16, 1)
+	net := sim.NewNetwork(topo, 0, 1)
+	tree := BuildTree(topo, topology.Base, nil)
+	path := tree.PathToRoot(topology.NodeID(topo.N() - 1))
+	net.Fail(path[len(path)-1])
+	if _, ok := RepairPath(topo, net, path, 2); ok {
+		t.Fatal("repaired a path whose endpoint failed")
+	}
+}
+
+func TestRepairNoopOnHealthyPath(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 16, 1)
+	net := sim.NewNetwork(topo, 0, 1)
+	tree := BuildTree(topo, topology.Base, nil)
+	path := tree.PathToRoot(topology.NodeID(topo.N() - 1))
+	repaired, ok := RepairPath(topo, net, path, 2)
+	if !ok || repaired.Hops() != path.Hops() {
+		t.Fatal("healthy path was altered")
+	}
+	if net.Metrics().TotalBytes != 0 {
+		t.Fatal("healthy repair charged traffic")
+	}
+}
+
+func TestDedupeLoops(t *testing.T) {
+	p := dedupeLoops(Path{1, 2, 3, 2, 4})
+	want := Path{1, 2, 4}
+	if len(p) != len(want) {
+		t.Fatalf("dedupeLoops = %v, want %v", p, want)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("dedupeLoops = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestFloodUpdateReachesOnlyAddressedSubtrees(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 100, 1)
+	tree := BuildTree(topo, topology.Base, nil)
+	net := sim.NewNetwork(topo, 0, 1)
+	// Address two leaves.
+	var leaves []topology.NodeID
+	for i := topo.N() - 1; i > 0 && len(leaves) < 2; i-- {
+		if len(tree.Children[topology.NodeID(i)]) == 0 {
+			leaves = append(leaves, topology.NodeID(i))
+		}
+	}
+	addressed := map[topology.NodeID]bool{leaves[0]: true, leaves[1]: true}
+	depth := FloodUpdate(net, tree, 4, addressed)
+	if depth <= 0 {
+		t.Fatal("flood reported zero depth for leaf targets")
+	}
+	m := net.Metrics()
+	if m.TotalMessages == 0 {
+		t.Fatal("flood charged nothing")
+	}
+	// Directed flooding must touch far fewer edges than a full flood
+	// (n-1 edges): at most the two root-to-leaf chains.
+	maxEdges := int64(tree.Depth[leaves[0]] + tree.Depth[leaves[1]])
+	if m.TotalMessages > maxEdges {
+		t.Fatalf("flood used %d messages, want <= %d (directed)", m.TotalMessages, maxEdges)
+	}
+}
+
+func TestFloodUpdateRootOnly(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 16, 1)
+	tree := BuildTree(topo, topology.Base, nil)
+	net := sim.NewNetwork(topo, 0, 1)
+	depth := FloodUpdate(net, tree, 4, map[topology.NodeID]bool{topology.Base: true})
+	if depth != 0 || net.Metrics().TotalMessages != 0 {
+		t.Fatal("self-addressed flood should be free")
+	}
+}
+
+func TestUpdateAttributeRefreshesSummaries(t *testing.T) {
+	topo := topology.Generate(topology.ModerateRandom, 100, 1)
+	vals := make([]int32, topo.N())
+	for i := range vals {
+		vals[i] = int32(i % 10)
+	}
+	s := NewSubstrate(topo, Options{
+		NumTrees: 2,
+		Indexes:  []IndexSpec{{Attr: "k", Kind: BloomSummary, Values: vals}},
+	}, nil)
+	net := sim.NewNetwork(topo, 0, 1)
+	// Assign a brand-new value 77 to node 42.
+	delay := s.UpdateAttribute(net, "k", map[topology.NodeID]int32{42: 77})
+	if delay <= 0 {
+		t.Fatal("update reported no propagation delay")
+	}
+	if net.Metrics().TotalBytes == 0 {
+		t.Fatal("update charged no traffic")
+	}
+	// Search for 77 from an arbitrary node must now find node 42.
+	found := s.FindTargets(3, &keyMatcher{attr: "k", key: 77, vals: vals}, nil)
+	// keyMatcher reads the ground-truth vals slice, which UpdateAttribute
+	// mutated through the spec — confirm.
+	if vals[42] != 77 {
+		t.Fatal("UpdateAttribute did not write through to the index values")
+	}
+	if _, ok := found[42]; !ok || len(found) != 1 {
+		t.Fatalf("post-update search found %v, want node 42 only", found)
+	}
+}
+
+func TestUpdateAttributePanicsOnUnindexed(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 16, 1)
+	s := NewSubstrate(topo, Options{NumTrees: 1}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unindexed attribute")
+		}
+	}()
+	s.UpdateAttribute(nil, "nope", map[topology.NodeID]int32{1: 2})
+}
+
+func TestShortcutNeverLengthens(t *testing.T) {
+	topo := topology.Generate(topology.ModerateRandom, 80, 3)
+	tree := BuildTree(topo, topology.Base, nil)
+	for i := 1; i < topo.N(); i += 7 {
+		for j := 2; j < topo.N(); j += 11 {
+			p := tree.TreePath(topology.NodeID(i), topology.NodeID(j))
+			sc := Shortcut(topo, p)
+			if sc.Hops() > p.Hops() {
+				t.Fatalf("shortcut lengthened path: %d -> %d", p.Hops(), sc.Hops())
+			}
+			if sc[0] != p[0] || sc[len(sc)-1] != p[len(p)-1] {
+				t.Fatal("shortcut changed endpoints")
+			}
+			for k := 1; k < len(sc); k++ {
+				if !topo.IsNeighbor(sc[k-1], sc[k]) {
+					t.Fatalf("shortcut not link-valid: %v", sc)
+				}
+			}
+		}
+	}
+}

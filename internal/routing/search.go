@@ -1,0 +1,173 @@
+package routing
+
+import (
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Matcher guides the content-addressed path search. MatchNode decides
+// whether a visited node is a sought target; MayMatchSubtree consults a
+// routing-table entry to decide whether the subtree below it could contain
+// targets (pruning). MayMatchSubtree must never return false for a subtree
+// containing a matching node — summaries guarantee no false negatives.
+type Matcher interface {
+	MatchNode(id topology.NodeID) bool
+	MayMatchSubtree(e *Entry) bool
+}
+
+// MatchAll is a Matcher that matches a fixed target set with no pruning —
+// used to model substrates without semantic summaries (e.g. single-tree
+// flooding baselines) and in tests.
+type MatchAll struct{ Targets map[topology.NodeID]bool }
+
+// MatchNode implements Matcher.
+func (m MatchAll) MatchNode(id topology.NodeID) bool { return m.Targets[id] }
+
+// MayMatchSubtree implements Matcher.
+func (m MatchAll) MayMatchSubtree(*Entry) bool { return true }
+
+// probeKeyBytes is the fixed part of an exploration probe: query id plus
+// the join-key value being sought.
+const probeKeyBytes = 2 * sim.ValueBytes
+
+// FindTargets runs the paper's exploration from src: in every tree, search
+// downward through src's subtree, then ascend hop by hop toward the root,
+// searching downward through each ancestor's other subtrees ("it emphasizes
+// exploring from a node down its subtrees, but for completeness also
+// searches up each subtree. A search ascending a subtree can then search
+// downwards from each node, but never go upwards again").
+//
+// It returns, per discovered target, the fewest-hop path found across all
+// trees. When net is non-nil every probe hop and every response (reversed
+// path vector back to src) is charged as control traffic, and failed nodes
+// are not traversed.
+func (s *Substrate) FindTargets(src topology.NodeID, m Matcher, net *sim.Network) map[topology.NodeID]Path {
+	found := make(map[topology.NodeID]Path)
+	record := func(target topology.NodeID, p Path) {
+		if target == src {
+			return
+		}
+		if prev, ok := found[target]; !ok || p.Hops() < prev.Hops() {
+			found[target] = p.Clone()
+		}
+	}
+	for ti, tree := range s.Trees {
+		s.searchTree(ti, tree, src, m, net, record)
+	}
+	// Charge one response per found target: the reversed path vector sent
+	// back to src so it can route directly afterwards. Iterate in sorted
+	// order so the loss process consumes draws deterministically.
+	if net != nil {
+		targets := make([]topology.NodeID, 0, len(found))
+		for target := range found {
+			targets = append(targets, target)
+		}
+		sortNodeIDs(targets)
+		for _, target := range targets {
+			p := found[target]
+			net.Transfer(p.Reverse(), probeKeyBytes+p.Hops()*sim.PathEntryBytes, sim.Control,
+				sim.Flow{Src: target, Dst: src})
+		}
+	}
+	return found
+}
+
+func (s *Substrate) searchTree(ti int, tree *Tree, src topology.NodeID, m Matcher, net *sim.Network, record func(topology.NodeID, Path)) {
+	alive := func(id topology.NodeID) bool { return net == nil || net.Alive(id) }
+	if !alive(src) {
+		return
+	}
+	// Phase 1: descend through src's own subtree.
+	s.descend(ti, tree, src, Path{src}, m, net, record, alive)
+	// Phase 2: ascend toward the root, descending into each ancestor's
+	// other subtrees.
+	up := Path{src}
+	cur := src
+	for tree.Parent[cur] >= 0 {
+		parent := tree.Parent[cur]
+		if !alive(parent) {
+			break
+		}
+		if net != nil {
+			net.Transfer(Path{cur, parent}, probeKeyBytes+up.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
+		}
+		up = append(up, parent)
+		if m.MatchNode(parent) {
+			record(parent, up)
+		}
+		for _, sib := range tree.Children[parent] {
+			if sib == cur {
+				continue
+			}
+			if !m.MayMatchSubtree(s.Entry(ti, sib)) {
+				continue
+			}
+			if !alive(sib) {
+				continue
+			}
+			if net != nil {
+				net.Transfer(Path{parent, sib}, probeKeyBytes+up.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
+			}
+			branch := append(up.Clone(), sib)
+			if m.MatchNode(sib) {
+				record(sib, branch)
+			}
+			s.descend(ti, tree, sib, branch, m, net, record, alive)
+		}
+		cur = parent
+	}
+}
+
+// descend explores the subtree below node along tree edges, pruning with
+// routing-table summaries, extending prefix (which ends at node).
+func (s *Substrate) descend(ti int, tree *Tree, node topology.NodeID, prefix Path, m Matcher, net *sim.Network, record func(topology.NodeID, Path), alive func(topology.NodeID) bool) {
+	for _, c := range tree.Children[node] {
+		if !m.MayMatchSubtree(s.Entry(ti, c)) {
+			continue
+		}
+		if !alive(c) {
+			continue
+		}
+		if net != nil {
+			net.Transfer(Path{node, c}, probeKeyBytes+prefix.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
+		}
+		p := append(prefix.Clone(), c)
+		if m.MatchNode(c) {
+			record(c, p)
+		}
+		s.descend(ti, tree, c, p, m, net, record, alive)
+	}
+}
+
+func sortNodeIDs(xs []topology.NodeID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// BestTreePath returns the fewest-hop tree path between a and b across the
+// substrate's trees — the path-quality primitive behind Figures 16-18.
+func (s *Substrate) BestTreePath(a, b topology.NodeID) Path {
+	var best Path
+	for _, tree := range s.Trees {
+		p := tree.TreePath(a, b)
+		if best == nil || p.Hops() < best.Hops() {
+			best = p
+		}
+	}
+	return best
+}
+
+// PathToBase returns the parent chain in tree 0 (the base-rooted tree) —
+// how every algorithm routes to the base station.
+func (s *Substrate) PathToBase(id topology.NodeID) Path {
+	return s.Trees[0].PathToRoot(id)
+}
+
+// DepthToBase returns the hop distance to the base station in tree 0 — the
+// quantity every node is assumed to know (Appendix C).
+func (s *Substrate) DepthToBase(id topology.NodeID) int {
+	return s.Trees[0].Depth[id]
+}

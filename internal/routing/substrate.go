@@ -1,0 +1,210 @@
+package routing
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/summary"
+	"repro/internal/topology"
+)
+
+// SummaryKind selects which summary structure indexes a static attribute
+// in the routing tables (Appendix C: intervals as in TinyDB, Bloom filters,
+// or histograms, "each of these structures may be useful for particular
+// datatypes and value ranges").
+type SummaryKind int
+
+const (
+	// BloomSummary indexes discrete identifiers (id, cid, rid, x, y).
+	BloomSummary SummaryKind = iota
+	// IntervalSummary indexes ordered ranges.
+	IntervalSummary
+	// HistogramSummary indexes dense low-cardinality domains.
+	HistogramSummary
+)
+
+// IndexSpec declares one indexed static attribute: its name, per-node
+// values, and the summary structure to use.
+type IndexSpec struct {
+	Attr   string
+	Kind   SummaryKind
+	Values []int32 // Values[node] is the node's static attribute value
+	// Lo, Hi bound the domain for HistogramSummary.
+	Lo, Hi int32
+	// Buckets is the histogram bucket count (default 16).
+	Buckets int
+}
+
+// Entry is one routing-table entry: the summaries describing the subtree
+// below a (tree, node) pair. Path search consults it to prune descent.
+type Entry struct {
+	// Scalars maps attribute name to that attribute's subtree summary.
+	Scalars map[string]summary.Summary
+	// Region summarizes subtree node positions, when position indexing is
+	// enabled (Query 3's R-tree).
+	Region *summary.Region
+}
+
+// Substrate is the multi-tree semantic routing substrate of [11]: one or
+// more routing trees over the same nodes, with per-subtree attribute
+// summaries at every node enabling content-addressed path search.
+type Substrate struct {
+	Topo  *topology.Topology
+	Trees []*Tree
+	// tables[tree][node] is the summary entry for node's subtree in tree.
+	tables [][]Entry
+	specs  []IndexSpec
+	// indexPos records whether positions are indexed with R-trees.
+	indexPos bool
+	pos      []geom.Point
+}
+
+// Options configures substrate construction.
+type Options struct {
+	// NumTrees is how many overlapping routing trees to build (the paper
+	// evaluates 1-3; 3 is the substrate default in [11]).
+	NumTrees int
+	// Indexes are the static attributes to index.
+	Indexes []IndexSpec
+	// IndexPositions adds an R-tree region summary per table entry.
+	IndexPositions bool
+}
+
+// NewSubstrate builds the substrate over topo. Tree 0 is rooted at the
+// base station; each successive root is the node maximizing the minimum
+// hop distance to all existing roots ("choose a new root node furthest
+// from any existing roots"). When net is non-nil, construction and summary
+// dissemination traffic is charged as control traffic.
+func NewSubstrate(topo *topology.Topology, opts Options, net *sim.Network) *Substrate {
+	if opts.NumTrees < 1 {
+		opts.NumTrees = 1
+	}
+	s := &Substrate{
+		Topo:     topo,
+		specs:    opts.Indexes,
+		indexPos: opts.IndexPositions,
+	}
+	if opts.IndexPositions {
+		s.pos = make([]geom.Point, topo.N())
+		for i := range s.pos {
+			s.pos[i] = topo.Pos(topology.NodeID(i))
+		}
+	}
+	roots := []topology.NodeID{topology.Base}
+	depths := make([][]int, 0, opts.NumTrees)
+	d0, _ := topo.BFS(topology.Base)
+	depths = append(depths, d0)
+	for len(roots) < opts.NumTrees {
+		// Farthest-point selection on hop distance.
+		best, bestMin := topology.NodeID(-1), -1
+		for i := 0; i < topo.N(); i++ {
+			id := topology.NodeID(i)
+			minD := 1 << 30
+			for _, dd := range depths {
+				if dd[id] < minD {
+					minD = dd[id]
+				}
+			}
+			if minD > bestMin {
+				best, bestMin = id, minD
+			}
+		}
+		roots = append(roots, best)
+		db, _ := topo.BFS(best)
+		depths = append(depths, db)
+	}
+	for _, r := range roots {
+		s.Trees = append(s.Trees, BuildTree(topo, r, net))
+	}
+	s.buildTables(net)
+	return s
+}
+
+// buildTables computes, bottom-up per tree, the subtree summaries for every
+// node, charging the summary bytes shipped from each child to its parent.
+func (s *Substrate) buildTables(net *sim.Network) {
+	s.tables = make([][]Entry, len(s.Trees))
+	for ti, tree := range s.Trees {
+		tbl := make([]Entry, s.Topo.N())
+		// Process nodes deepest-first so children are summarized before
+		// parents.
+		order := make([]topology.NodeID, s.Topo.N())
+		for i := range order {
+			order[i] = topology.NodeID(i)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			da, db := tree.Depth[order[a]], tree.Depth[order[b]]
+			if da != db {
+				return da > db
+			}
+			return order[a] < order[b]
+		})
+		for _, id := range order {
+			e := Entry{Scalars: make(map[string]summary.Summary, len(s.specs))}
+			for _, spec := range s.specs {
+				sm := s.newSummary(spec)
+				sm.AddValue(spec.Values[id])
+				e.Scalars[spec.Attr] = sm
+			}
+			if s.indexPos {
+				e.Region = summary.NewRegion()
+				e.Region.AddPoint(s.pos[id])
+			}
+			for _, c := range tree.Children[id] {
+				child := tbl[c]
+				for attr, sm := range e.Scalars {
+					sm.Merge(child.Scalars[attr])
+				}
+				if s.indexPos {
+					e.Region.Merge(child.Region)
+				}
+			}
+			tbl[id] = e
+		}
+		s.tables[ti] = tbl
+		if net != nil {
+			// Each non-root node ships its summary entry to its parent
+			// once during construction.
+			for i := 0; i < s.Topo.N(); i++ {
+				id := topology.NodeID(i)
+				if p := tree.Parent[id]; p >= 0 {
+					size := 0
+					for _, sm := range tbl[id].Scalars {
+						size += sm.SizeBytes()
+					}
+					if s.indexPos {
+						size += tbl[id].Region.SizeBytes()
+					}
+					net.Transfer(Path{id, p}, size, sim.Control, sim.Flow{})
+				}
+			}
+		}
+	}
+}
+
+func (s *Substrate) newSummary(spec IndexSpec) summary.Summary {
+	switch spec.Kind {
+	case IntervalSummary:
+		return summary.NewInterval()
+	case HistogramSummary:
+		b := spec.Buckets
+		if b <= 0 {
+			b = 16
+		}
+		return summary.NewHistogram(spec.Lo, spec.Hi, b)
+	default:
+		return summary.DefaultBloom()
+	}
+}
+
+// Entry returns the routing-table entry for node id in tree ti.
+func (s *Substrate) Entry(ti int, id topology.NodeID) *Entry { return &s.tables[ti][id] }
+
+// Pos returns node positions when position indexing is on (nil otherwise).
+func (s *Substrate) Pos(id topology.NodeID) geom.Point {
+	if s.pos != nil {
+		return s.pos[id]
+	}
+	return s.Topo.Pos(id)
+}

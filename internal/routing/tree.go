@@ -1,0 +1,149 @@
+// Package routing implements the paper's communication substrate
+// (section 2.2, Appendix C): standard routing-tree construction [10],
+// the multi-tree extension of [11] (successive roots chosen farthest from
+// existing roots), semantic routing tables holding attribute summaries per
+// subtree, the down-then-up pruned path search used by In-Net join
+// initiation, parent routing to the base station, and the
+// limited-exploration path repair of section 7.
+package routing
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Path is a hop-by-hop node sequence; consecutive entries are radio
+// neighbours. Path[0] is the source and Path[len-1] the destination.
+type Path []topology.NodeID
+
+// Clone returns an independent copy.
+func (p Path) Clone() Path {
+	q := make(Path, len(p))
+	copy(q, p)
+	return q
+}
+
+// Reverse returns the path traversed backwards (links are symmetric,
+// section 3: "We assume symmetric communication links").
+func (p Path) Reverse() Path {
+	q := make(Path, len(p))
+	for i, n := range p {
+		q[len(p)-1-i] = n
+	}
+	return q
+}
+
+// Hops returns the hop count (len-1, or 0 for degenerate paths).
+func (p Path) Hops() int {
+	if len(p) < 2 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// Contains reports whether id appears on the path.
+func (p Path) Contains(id topology.NodeID) bool {
+	for _, n := range p {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Concat joins p with q where p ends at q's first node.
+func (p Path) Concat(q Path) Path {
+	if len(p) == 0 {
+		return q.Clone()
+	}
+	if len(q) == 0 {
+		return p.Clone()
+	}
+	if p[len(p)-1] != q[0] {
+		panic("routing: Concat endpoints do not meet")
+	}
+	out := make(Path, 0, len(p)+len(q)-1)
+	out = append(out, p...)
+	out = append(out, q[1:]...)
+	return out
+}
+
+// Tree is one rooted routing tree: the standard TinyDB-style construction
+// (BFS from the root over radio links, ties broken to the lowest node ID so
+// construction is deterministic).
+type Tree struct {
+	Root     topology.NodeID
+	Parent   []topology.NodeID // -1 at the root
+	Depth    []int
+	Children [][]topology.NodeID
+}
+
+// BuildTree constructs a routing tree rooted at root. When net is non-nil,
+// construction traffic is charged: each node broadcasts one beacon while
+// the tree forms (the flooding construction of [10]).
+func BuildTree(topo *topology.Topology, root topology.NodeID, net *sim.Network) *Tree {
+	depth, parent := topo.BFS(root)
+	n := topo.N()
+	t := &Tree{
+		Root:     root,
+		Parent:   parent,
+		Depth:    depth,
+		Children: make([][]topology.NodeID, n),
+	}
+	for i := 0; i < n; i++ {
+		if p := parent[i]; p >= 0 {
+			t.Children[p] = append(t.Children[p], topology.NodeID(i))
+		}
+	}
+	for i := range t.Children {
+		sort.Slice(t.Children[i], func(a, b int) bool { return t.Children[i][a] < t.Children[i][b] })
+	}
+	if net != nil {
+		beacon := 2 * sim.ValueBytes // root id + depth
+		for i := 0; i < n; i++ {
+			net.Broadcast(topology.NodeID(i), beacon, sim.Control)
+		}
+	}
+	return t
+}
+
+// PathToRoot returns the parent-chain path from id to the root.
+func (t *Tree) PathToRoot(id topology.NodeID) Path {
+	p := Path{id}
+	for t.Parent[id] >= 0 {
+		id = t.Parent[id]
+		p = append(p, id)
+	}
+	return p
+}
+
+// TreePath returns the unique tree path between a and b (up to the lowest
+// common ancestor, then down).
+func (t *Tree) TreePath(a, b topology.NodeID) Path {
+	up := t.PathToRoot(a)
+	down := t.PathToRoot(b)
+	// Find the LCA: strip the common suffix.
+	i, j := len(up)-1, len(down)-1
+	for i > 0 && j > 0 && up[i-1] == down[j-1] {
+		i--
+		j--
+	}
+	p := make(Path, 0, i+1+j)
+	p = append(p, up[:i+1]...)
+	for k := j - 1; k >= 0; k-- {
+		p = append(p, down[k])
+	}
+	return p
+}
+
+// Subtree returns all nodes in the subtree rooted at id, in deterministic
+// preorder.
+func (t *Tree) Subtree(id topology.NodeID) []topology.NodeID {
+	out := []topology.NodeID{id}
+	for _, c := range t.Children[id] {
+		out = append(out, t.Subtree(c)...)
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+// Package sim is the network simulator substrate that replaces TOSSIM in
+// this reproduction. Every figure in the paper measures bytes (or, for mesh
+// networks, messages) transmitted per node and end-to-end delay in sampling
+// cycles, so the simulator is a hop-accurate byte-accounting engine rather
+// than a radio-bit-level one: a message sent along a multi-hop path charges
+// each traversed link, per-hop losses trigger bounded retransmissions (each
+// attempt charged), and all traffic is attributed to the transmitting node,
+// with the base station's send+receive load tracked separately.
+//
+// Determinism: the loss process draws from a dedicated rng stream, and all
+// iteration is in node-ID order, so a run is a pure function of
+// (topology, workload seed, loss seed).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Wire-format modelling constants. TOSSIM's TinyOS packets carry an ~8-byte
+// active-message header; attribute values are 16-bit integers (section 4);
+// path-vector entries are delta-encoded to about a byte per hop (section
+// 3.1). These constants are the only place byte sizes are defined.
+const (
+	// HeaderBytes is charged per transmission attempt on every hop.
+	HeaderBytes = 8
+	// ValueBytes is the size of one 16-bit attribute value.
+	ValueBytes = 2
+	// PathEntryBytes is the delta-encoded size of one path-vector hop.
+	PathEntryBytes = 1
+	// TupleBytes is a minimal data tuple: node id + one value + sequence.
+	TupleBytes = 3 * ValueBytes
+	// ResultBytes is a join result: both producer ids and both values.
+	ResultBytes = 2 * TupleBytes
+	// TransmissionsPerCycle is how many transmission cycles make up one
+	// sampling cycle (section 4.1: "Each sampling cycle itself consists
+	// of 100 transmission cycles").
+	TransmissionsPerCycle = 100
+)
+
+// MsgKind classifies traffic so metrics can be broken down by phase.
+type MsgKind uint8
+
+const (
+	// Control covers initiation/optimization traffic (exploration,
+	// nominations, group coordination, multicast-tree updates).
+	Control MsgKind = iota
+	// Data covers producer tuples flowing to join nodes.
+	Data
+	// Result covers join outputs flowing to the base station.
+	Result
+)
+
+// String returns the metric label for the kind.
+func (k MsgKind) String() string {
+	switch k {
+	case Control:
+		return "control"
+	case Data:
+		return "data"
+	case Result:
+		return "result"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// Metrics accumulates everything the paper's figures report.
+type Metrics struct {
+	// TotalBytes is the sum of bytes transmitted over all links, including
+	// retransmissions (the "Total traffic" axis of Figs 2, 3, 9-13).
+	TotalBytes int64
+	// TotalMessages counts transmission attempts (the mesh-network metric
+	// of Figs 19-20, where header overhead dominates byte size).
+	TotalMessages int64
+	// BaseBytes is bytes sent or received by the base station ("Traffic at
+	// the Base station", Figs 2b, 3b, 6a, 13).
+	BaseBytes int64
+	// BaseMessages is the message-count analogue of BaseBytes.
+	BaseMessages int64
+	// NodeBytes[i] is bytes transmitted by node i (Fig 5's load
+	// distribution and Fig 13's "max traffic by any node").
+	NodeBytes []int64
+	// NodeMessages[i] is transmission attempts by node i.
+	NodeMessages []int64
+	// ByKind breaks TotalBytes down by traffic class.
+	ByKind [3]int64
+	// Drops counts messages abandoned after exhausting retransmissions.
+	Drops int64
+	// Retransmissions counts extra attempts beyond the first, per hop.
+	Retransmissions int64
+	// QueueDrops counts messages lost to per-cycle relay-queue overflow
+	// (only with Network.QueueLimit set).
+	QueueDrops int64
+}
+
+// MaxNodeBytes returns the heaviest per-node transmit load.
+func (m *Metrics) MaxNodeBytes() int64 {
+	var max int64
+	for _, b := range m.NodeBytes {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TopLoads returns the k largest per-node byte loads in descending order
+// (Fig 5 plots the 15 most-loaded nodes).
+func (m *Metrics) TopLoads(k int) []int64 {
+	loads := make([]int64, len(m.NodeBytes))
+	copy(loads, m.NodeBytes)
+	// Insertion-select the top k; node counts are small (<= a few hundred).
+	if k > len(loads) {
+		k = len(loads)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(loads); j++ {
+			if loads[j] > loads[best] {
+				best = j
+			}
+		}
+		loads[i], loads[best] = loads[best], loads[i]
+	}
+	return loads[:k]
+}
+
+// HopObserver is invoked for every successful hop transmission. The MPO
+// path-collapse detector uses it to model radio snooping: neighbours of the
+// transmitting node overhear the packet for free (broadcast medium), so
+// observing costs nothing; only explicit notifications are charged.
+type HopObserver func(from, to topology.NodeID, kind MsgKind, flow Flow)
+
+// Flow identifies a data stream for snooping purposes: the producer it
+// originates at, the join node it targets, and the path vector in use.
+type Flow struct {
+	Src  topology.NodeID
+	Dst  topology.NodeID
+	Path []topology.NodeID
+}
+
+// Network is the simulation substrate: a topology plus loss model, failure
+// state and traffic metrics.
+type Network struct {
+	Topo *topology.Topology
+	// LossProb is the per-hop packet loss probability. Mote experiments
+	// use 5% (TOSSIM's lossy radio); mesh experiments use 0 and count
+	// messages instead.
+	LossProb float64
+	// MaxRetries bounds retransmission attempts per hop after the first.
+	MaxRetries int
+
+	// QueueLimit, when positive, bounds how many messages a node can
+	// relay per sampling cycle (its radio/forwarding queue). Messages
+	// beyond the limit are dropped at that hop — the failure mode that
+	// prevented Yang+07 from completing runs in the paper ("its routing
+	// queues overflow almost immediately"). Zero disables the model.
+	QueueLimit int
+
+	metrics   Metrics
+	loss      *rng.Source
+	dead      []bool
+	observer  HopObserver
+	cycleLoad []int
+}
+
+// NewNetwork returns a network over topo with the given loss model.
+// lossSeed feeds the loss process only, keeping it independent of workload
+// randomness.
+func NewNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64) *Network {
+	n := topo.N()
+	return &Network{
+		Topo:       topo,
+		LossProb:   lossProb,
+		MaxRetries: 3,
+		loss:       rng.New(lossSeed).Split(0xC0FFEE),
+		dead:       make([]bool, n),
+		cycleLoad:  make([]int, n),
+		metrics: Metrics{
+			NodeBytes:    make([]int64, n),
+			NodeMessages: make([]int64, n),
+		},
+	}
+}
+
+// BeginCycle resets the per-cycle relay queues. Engines call it at the
+// start of every sampling cycle; it is a no-op when QueueLimit is off.
+func (n *Network) BeginCycle() {
+	if n.QueueLimit <= 0 {
+		return
+	}
+	for i := range n.cycleLoad {
+		n.cycleLoad[i] = 0
+	}
+}
+
+// QueueDrops counts messages lost to relay-queue overflow.
+func (n *Network) QueueDrops() int64 { return n.metrics.QueueDrops }
+
+// Metrics returns the accumulated metrics. The pointer stays valid for the
+// network's lifetime; callers snapshot by dereferencing.
+func (n *Network) Metrics() *Metrics { return &n.metrics }
+
+// ResetMetrics zeroes all counters, e.g. to separate initiation cost from
+// computation cost within one run.
+func (n *Network) ResetMetrics() {
+	for i := range n.metrics.NodeBytes {
+		n.metrics.NodeBytes[i] = 0
+		n.metrics.NodeMessages[i] = 0
+	}
+	n.metrics = Metrics{NodeBytes: n.metrics.NodeBytes, NodeMessages: n.metrics.NodeMessages}
+}
+
+// SetObserver registers the snooping hook (nil disables).
+func (n *Network) SetObserver(o HopObserver) { n.observer = o }
+
+// Fail marks a node as permanently failed (section 7). Transfers through or
+// to it abort at the hop preceding it.
+func (n *Network) Fail(id topology.NodeID) { n.dead[id] = true }
+
+// Revive clears the failure mark.
+func (n *Network) Revive(id topology.NodeID) { n.dead[id] = false }
+
+// Alive reports whether id has not failed.
+func (n *Network) Alive(id topology.NodeID) bool { return !n.dead[id] }
+
+// chargeHop accounts one transmission attempt of size bytes from node
+// `from` to node `to`.
+func (n *Network) chargeHop(from, to topology.NodeID, bytes int, kind MsgKind) {
+	n.metrics.TotalBytes += int64(bytes)
+	n.metrics.TotalMessages++
+	n.metrics.NodeBytes[from] += int64(bytes)
+	n.metrics.NodeMessages[from]++
+	n.metrics.ByKind[kind] += int64(bytes)
+	if from == topology.Base || to == topology.Base {
+		n.metrics.BaseBytes += int64(bytes)
+		n.metrics.BaseMessages++
+	}
+}
+
+// Transfer sends payloadBytes along path (path[0] is the sender; each
+// consecutive pair must be a radio link). Every hop is charged
+// HeaderBytes+payloadBytes per attempt; a lost attempt is retried up to
+// MaxRetries times. It returns whether the message reached the end of the
+// path and the number of hops traversed (delivered or not).
+//
+// flow is optional metadata handed to the snooping observer; pass Flow{}
+// when irrelevant.
+func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKind, flow Flow) (delivered bool, hops int) {
+	if len(path) < 2 {
+		return true, 0
+	}
+	size := HeaderBytes + payloadBytes
+	for i := 0; i+1 < len(path); i++ {
+		from, to := path[i], path[i+1]
+		if n.dead[from] {
+			return false, i
+		}
+		if n.QueueLimit > 0 {
+			// The sender must enqueue the message for forwarding; a full
+			// queue silently drops it (no transmission happens).
+			n.cycleLoad[from]++
+			if n.cycleLoad[from] > n.QueueLimit {
+				n.metrics.QueueDrops++
+				return false, i
+			}
+		}
+		if n.dead[to] {
+			// The sender transmits, discovers the next hop is gone
+			// (no ack after all retries), and aborts.
+			attempts := 1 + n.MaxRetries
+			for a := 0; a < attempts; a++ {
+				n.chargeHop(from, to, size, kind)
+			}
+			n.metrics.Retransmissions += int64(n.MaxRetries)
+			n.metrics.Drops++
+			return false, i
+		}
+		ok := false
+		for attempt := 0; attempt <= n.MaxRetries; attempt++ {
+			n.chargeHop(from, to, size, kind)
+			if attempt > 0 {
+				n.metrics.Retransmissions++
+			}
+			if !n.loss.Bool(n.LossProb) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			n.metrics.Drops++
+			return false, i + 1
+		}
+		if n.observer != nil {
+			n.observer(from, to, kind, flow)
+		}
+	}
+	return true, len(path) - 1
+}
+
+// Broadcast charges one local broadcast of payloadBytes from id (tree
+// construction beacons, query dissemination floods).
+func (n *Network) Broadcast(id topology.NodeID, payloadBytes int, kind MsgKind) {
+	if n.dead[id] {
+		return
+	}
+	n.chargeHop(id, id, HeaderBytes+payloadBytes, kind)
+}

@@ -1,0 +1,146 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: sample mean, standard deviation, and the 95% confidence interval
+// the paper reports ("Experiments are averaged across 9 runs and 95%
+// confidence intervals are provided"), plus tabular formatting for the
+// experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tTable holds two-sided 95% Student-t critical values for small degrees
+// of freedom (the paper averages 9 runs: df = 8 -> 2.306).
+var tTable = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+}
+
+// TCritical returns the two-sided 95% t value for df degrees of freedom,
+// falling back to the normal 1.96 for large df.
+func TCritical(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df < len(tTable) {
+		return tTable[df]
+	}
+	return 1.96
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// of xs.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return TCritical(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary bundles mean and CI half-width.
+type Summary struct {
+	Mean float64
+	CI   float64
+	N    int
+}
+
+// Summarize computes the Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{Mean: Mean(xs), CI: CI95(xs), N: len(xs)}
+}
+
+// String renders "mean +- ci".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f +- %.1f", s.Mean, s.CI)
+}
+
+// Table accumulates rows and renders them with aligned columns, for the
+// experiment CLI output.
+type Table struct {
+	Header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// Add appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) Add(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRow appends a row of label cells plus a Summary rendered as
+// "mean +- ci".
+func (t *Table) AddRow(labels []string, s Summary) {
+	t.Add(append(append([]string{}, labels...), s.String())...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		b.WriteString(strings.Repeat("-", w))
+		if i < len(widths)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

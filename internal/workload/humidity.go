@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Humidity is the synthetic stand-in for the Intel Research-Berkeley
+// humidity trace (attribute v, Table 1). The real trace is unavailable
+// offline; what Query 3 depends on is that v is (a) scaled into the 16-bit
+// ADC range, (b) spatially correlated — nearby motes read similar values,
+// so the region join's |s.v - t.v| > 1000 clause fires on a minority of
+// cycles — and (c) temporally smooth with occasional excursions (doors
+// opening, HVAC cycles) that produce events.
+//
+// The process is: v_i(t) = field(pos_i) + season(t) + ar_i(t), where field
+// is a smooth spatial gradient across the lab, season is a shared slow
+// sinusoid, and ar_i is a per-node mean-reverting AR(1) with heavy-ish
+// shocks. All terms are deterministic in the seed.
+type Humidity struct {
+	topo *topology.Topology
+	seed uint64
+	// ar state, advanced lazily per node up to lastCycle.
+	state     []float64
+	lastCycle []int
+	streams   []*rng.Source
+}
+
+// NewHumidity returns a humidity process over topo.
+func NewHumidity(topo *topology.Topology, seed uint64) *Humidity {
+	n := topo.N()
+	h := &Humidity{
+		topo:      topo,
+		seed:      seed,
+		state:     make([]float64, n),
+		lastCycle: make([]int, n),
+		streams:   make([]*rng.Source, n),
+	}
+	root := rng.New(seed).Split(0x481D)
+	for i := 0; i < n; i++ {
+		h.streams[i] = root.Split(uint64(i))
+		h.lastCycle[i] = -1
+	}
+	return h
+}
+
+// field is the static spatial component: a smooth gradient plus a bump,
+// spanning ~6000 ADC counts across the lab so that distant motes differ by
+// more than the 1000-count event threshold while neighbours differ by less.
+func (h *Humidity) field(p geom.Point) float64 {
+	// Normalize into [0,1] using the topology's bounding extent.
+	nx := p.X / topology.Field
+	ny := p.Y / topology.Field
+	if h.topo.Kind() == topology.Intel {
+		nx = p.X / 42
+		ny = p.Y / 30
+	}
+	return 20000 + 2000*nx + 1250*ny + 600*math.Sin(3*nx*math.Pi)*math.Cos(2*ny*math.Pi)
+}
+
+// Value returns node id's humidity reading (16-bit scaled) at cycle.
+// Cycles must be queried in non-decreasing order per node, which matches
+// how the sampling loop consumes them.
+func (h *Humidity) Value(id topology.NodeID, cycle int) int32 {
+	// Advance the AR(1) state to the requested cycle.
+	const (
+		phi   = 0.9 // mean reversion
+		sigma = 130 // shock scale (ADC counts)
+	)
+	for h.lastCycle[id] < cycle {
+		h.lastCycle[id]++
+		shock := h.streams[id].NormFloat64() * sigma
+		// Occasional excursions: ~1.5% of cycles get a large disturbance
+		// (a door opens near the mote). Together with the spatial
+		// gradient this puts the adjacent-pair event rate (|dv| > 1000)
+		// around 10% — events are "relatively rare" (section 1) but
+		// frequent enough to exercise every result path.
+		if h.streams[id].Bool(0.015) {
+			shock += h.streams[id].NormFloat64() * 1100
+		}
+		h.state[id] = phi*h.state[id] + shock
+	}
+	season := 800 * math.Sin(2*math.Pi*float64(cycle)/400)
+	v := h.field(h.topo.Pos(id)) + season + h.state[id]
+	if v < 0 {
+		v = 0
+	}
+	if v > 65535 {
+		v = 65535
+	}
+	return int32(v)
+}

@@ -1,0 +1,107 @@
+// Package workload builds the paper's experimental workload (section 4.1):
+// the Table 1 static attributes, the four queries of Table 2 in compiled
+// form, selectivity-controlled dynamic value generation for u, and the
+// synthetic humidity process standing in for the Intel Research-Berkeley
+// trace (attribute v).
+package workload
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// NodeInfo carries one node's static attributes (Table 1).
+type NodeInfo struct {
+	// ID is the unique identifier.
+	ID int32
+	// X is drawn from [7, 60] with an exponential spatial distribution —
+	// nodes near the field centre receive higher values.
+	X int32
+	// Y is uniform over [0, 10).
+	Y int32
+	// Cid and Rid are the column and row of the node's cell in a 4x4
+	// partition of the deployment field.
+	Cid, Rid int32
+	// Pos is the real position on the 256m x 256m field.
+	Pos geom.Point
+}
+
+// BuildNodes derives the static attributes for every node of topo,
+// deterministically from seed.
+func BuildNodes(topo *topology.Topology, seed uint64) []NodeInfo {
+	src := rng.New(seed).Split(0xA77)
+	nodes := make([]NodeInfo, topo.N())
+	centre := geom.Point{X: topology.Field / 2, Y: topology.Field / 2}
+	maxDist := centre.Dist(geom.Point{})
+	for i := range nodes {
+		id := topology.NodeID(i)
+		p := topo.Pos(id)
+		nrng := src.Split(uint64(i))
+		// x: exponential spatial skew. The mean decreases with distance
+		// from the centre; values clamp into [7, 60].
+		rel := p.Dist(centre) / maxDist // 0 at centre, 1 at corner
+		mean := 53 * math.Exp(-2.5*rel)
+		x := 7 + int32(math.Min(53, mean*nrng.ExpFloat64()))
+		if x > 60 {
+			x = 60
+		}
+		cell := topology.Field / 4
+		nodes[i] = NodeInfo{
+			ID:  int32(i),
+			X:   x,
+			Y:   int32(nrng.Intn(10)),
+			Cid: int32(math.Min(3, p.X/cell)),
+			Rid: int32(math.Min(3, p.Y/cell)),
+			Pos: p,
+		}
+	}
+	return nodes
+}
+
+// PairBinding adapts a node pair (plus optional dynamic u/v readings) to
+// the query.Binding interface so predicates can be evaluated directly over
+// workload state.
+type PairBinding struct {
+	S, T *NodeInfo
+	// SU, TU are the current dynamic readings (u for Queries 0-2, v for
+	// Query 3); only consulted when HasDyn is set.
+	SU, TU int32
+	HasDyn bool
+}
+
+// Value implements query.Binding.
+func (b PairBinding) Value(rel query.Rel, attr string) int32 {
+	n := b.S
+	dyn := b.SU
+	if rel == query.T {
+		n = b.T
+		dyn = b.TU
+	}
+	switch attr {
+	case "id":
+		return n.ID
+	case "x":
+		return n.X
+	case "y":
+		return n.Y
+	case "cid":
+		return n.Cid
+	case "rid":
+		return n.Rid
+	case "posx":
+		return int32(n.Pos.X)
+	case "posy":
+		return int32(n.Pos.Y)
+	case "u", "v":
+		if !b.HasDyn {
+			panic("workload: dynamic attribute read without dynamic binding")
+		}
+		return dyn
+	default:
+		panic("workload: unbound attribute " + attr)
+	}
+}

@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"repro/internal/query"
+	"repro/internal/topology"
+)
+
+// Sampler yields each producer's per-cycle reading and send decision. The
+// join engines consume data exclusively through this interface so the same
+// engine runs the synthetic u workload (Generator) and the humidity
+// workload (HumiditySampler).
+type Sampler interface {
+	Sample(id topology.NodeID, role query.Rel, cycle int) (value int32, send bool)
+}
+
+// HumiditySampler adapts the humidity process to the Sampler interface:
+// every node reads every cycle (Query 3 runs with sigma_s = sigma_t =
+// 100%), and a node's reading is role-independent — a sensor has one
+// physical humidity value per cycle regardless of which side of the join
+// it serves.
+type HumiditySampler struct {
+	H *Humidity
+}
+
+// Sample implements Sampler.
+func (h HumiditySampler) Sample(id topology.NodeID, _ query.Rel, cycle int) (int32, bool) {
+	return h.H.Value(id, cycle), true
+}
+
+var _ Sampler = (*Generator)(nil)
+var _ Sampler = HumiditySampler{}
