@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/dht"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/ght"
 	"repro/internal/join"
@@ -185,27 +186,14 @@ func Run(cfg Config) (*Report, error) {
 		cfg.Trees = 3
 	}
 	if cfg.Rates == (Rates{}) {
-		cfg.Rates = Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+		cfg.Rates = Rates(defaultRates)
 	}
 	topo := topology.Generate(kind, n, 1)
 	nodes := workload.BuildNodes(topo, 1)
 	rates := workload.Rates(cfg.Rates)
-	var spec *workload.Spec
-	switch cfg.Query {
-	case Query0:
-		pairs := cfg.Pairs
-		if pairs == 0 {
-			pairs = 10
-		}
-		spec = workload.Query0(topo, nodes, pairs, rates, 7)
-	case Query1, "":
-		spec = workload.Query1(topo, nodes, rates)
-	case Query2:
-		spec = workload.Query2(topo, nodes, rates)
-	case Query3:
-		spec = workload.Query3(topo, nodes, rates)
-	default:
-		return nil, fmt.Errorf("aspen: unknown query %q", cfg.Query)
+	spec, err := specFor(cfg.Query, topo, nodes, cfg.Pairs, rates, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
 	loss := 0.05
 	if cfg.LossProb != nil {
@@ -274,7 +262,31 @@ func Run(cfg Config) (*Report, error) {
 	}, nil
 }
 
-func algorithmFor(name Algorithm, topo *topology.Topology) (join.Algorithm, error) {
+// defaultRates is the paper's 1/2:1/2 stage with sigma_st = 10%.
+var defaultRates = workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+
+// specFor compiles a Table 2 query name into an executable spec — the one
+// place the name→constructor mapping lives, shared by Run and
+// Engine.Submit. Query 0's random endpoints derive from the run seed.
+func specFor(q Query, topo *topology.Topology, nodes []workload.NodeInfo, pairs int, rates workload.Rates, seed uint64) (*workload.Spec, error) {
+	switch q {
+	case Query0:
+		if pairs == 0 {
+			pairs = 10
+		}
+		return workload.Query0(topo, nodes, pairs, rates, seed^7), nil
+	case Query1, "":
+		return workload.Query1(topo, nodes, rates), nil
+	case Query2:
+		return workload.Query2(topo, nodes, rates), nil
+	case Query3:
+		return workload.Query3(topo, nodes, rates), nil
+	default:
+		return nil, fmt.Errorf("aspen: unknown query %q", q)
+	}
+}
+
+func algorithmFor(name Algorithm, topo *topology.Topology) (join.Continuous, error) {
 	switch name {
 	case Naive:
 		return join.Naive{}, nil
@@ -299,6 +311,242 @@ func algorithmFor(name Algorithm, topo *topology.Topology) (join.Algorithm, erro
 	default:
 		return nil, fmt.Errorf("aspen: unknown algorithm %q", name)
 	}
+}
+
+// --- Continuous multi-query execution (internal/engine) ---------------------
+
+// EngineConfig describes the shared deployment a multi-query Engine
+// schedules over.
+type EngineConfig struct {
+	// Topology selects the deployment (default ModerateRandom).
+	Topology TopologyKind
+	// Nodes is the deployment size (default 100).
+	Nodes int
+	// Trees is the routing-substrate tree count (default 3).
+	Trees int
+	// Seed makes every run of the engine reproducible (default 1).
+	Seed uint64
+	// LossProb is the per-hop loss probability (default 5%).
+	LossProb *float64
+}
+
+// QueryJob describes one continuous query submitted to an Engine: either
+// StreamSQL text or one of Table 2's named queries, plus its strategy and
+// lifetime.
+type QueryJob struct {
+	// ID labels the query in reports (default "q<n>"); must be unique.
+	ID string
+	// SQL is StreamSQL query text, compiled against the deployment.
+	// Exactly one of SQL and Query must be set.
+	SQL string
+	// Query names a Table 2 query (Query0..Query3) to run programmatically.
+	Query Query
+	// Pairs is Query0's random pair count (default 10).
+	Pairs int
+	// Algorithm selects the join strategy (default InnetCMG).
+	Algorithm Algorithm
+	// Rates are the query's data-generation ground truth (default the
+	// paper's 1/2:1/2 stage with sigma_st = 10%).
+	Rates Rates
+	// OptimizerRates, when non-nil, feeds the optimizer wrong estimates.
+	OptimizerRates *Rates
+	// Cycles is the query lifetime in epochs (0 = until the run's horizon).
+	Cycles int
+	// AdmitAt is the epoch at which the query enters the network.
+	AdmitAt int
+}
+
+// Engine runs many continuous queries concurrently over ONE shared
+// deployment, epoch by epoch, charging shared infrastructure traffic
+// (routing-tree construction, summary dissemination) once per network
+// instead of once per query. Create with NewEngine, add queries with
+// Submit, execute with Run, inspect with Report.
+type Engine struct {
+	eng  *engine.Engine
+	seed uint64
+}
+
+// NewEngine builds the shared deployment and its routing substrate; the
+// substrate construction traffic is charged once to the engine's shared
+// metrics stream.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	kind, err := cfg.Topology.kind()
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opts := engine.Options{
+		Kind:  kind,
+		Nodes: cfg.Nodes,
+		Trees: cfg.Trees,
+		Seed:  seed,
+	}
+	if cfg.LossProb != nil {
+		opts.LossProb = *cfg.LossProb
+		opts.Lossless = *cfg.LossProb == 0
+	}
+	return &Engine{eng: engine.New(opts), seed: seed}, nil
+}
+
+// Submit compiles and registers a query, returning its report ID. It may
+// be called before Run and between Run calls; admission happens at the
+// query's AdmitAt epoch.
+func (e *Engine) Submit(job QueryJob) (string, error) {
+	if (job.SQL == "") == (job.Query == "") {
+		return "", fmt.Errorf("aspen: job must set exactly one of SQL and Query")
+	}
+	alg, err := algorithmFor(job.Algorithm, e.eng.Topo)
+	if err != nil {
+		return "", err
+	}
+	rates := workload.Rates(job.Rates)
+	if rates == (workload.Rates{}) {
+		rates = defaultRates
+	}
+	qc := engine.QueryConfig{
+		ID:        job.ID,
+		SQL:       job.SQL,
+		Algorithm: alg,
+		Rates:     rates,
+		Cycles:    job.Cycles,
+		AdmitAt:   job.AdmitAt,
+	}
+	if job.Query != "" {
+		spec, err := specFor(job.Query, e.eng.Topo, e.eng.Nodes, job.Pairs, rates, e.seed)
+		if err != nil {
+			return "", err
+		}
+		qc.Spec = spec
+		if job.Query == Query3 {
+			qc.Sampler = workload.HumiditySampler{H: workload.NewHumidity(e.eng.Topo, e.seed)}
+		}
+	}
+	if job.OptimizerRates != nil {
+		qc.Opt = &costmodel.Params{
+			SigmaS:  job.OptimizerRates.SigmaS,
+			SigmaT:  job.OptimizerRates.SigmaT,
+			SigmaST: job.OptimizerRates.SigmaST,
+		}
+	}
+	q, err := e.eng.Submit(qc)
+	if err != nil {
+		return "", err
+	}
+	return q.ID, nil
+}
+
+// EpochStats streams one scheduler epoch's events to an OnEpoch hook.
+type EpochStats struct {
+	// Epoch is the epoch that just ran; Live the number of queries that
+	// stepped.
+	Epoch, Live int
+	// Admitted / Retired list query IDs that changed state this epoch.
+	Admitted, Retired []string
+	// NewResults maps query ID to join results delivered this epoch
+	// (queries with no new results are absent).
+	NewResults map[string]int
+}
+
+// OnEpoch registers a hook streamed after every scheduler epoch (nil
+// disables). Register before Run.
+func (e *Engine) OnEpoch(fn func(EpochStats)) {
+	if fn == nil {
+		e.eng.OnEpoch = nil
+		return
+	}
+	e.eng.OnEpoch = func(s engine.EpochStats) {
+		fn(EpochStats{
+			Epoch:      s.Epoch,
+			Live:       s.Live,
+			Admitted:   s.Admitted,
+			Retired:    s.Retired,
+			NewResults: s.NewResults,
+		})
+	}
+}
+
+// Run executes `epochs` scheduler epochs — admitting, stepping and
+// retiring queries — and returns the traffic/result report.
+func (e *Engine) Run(epochs int) (*EngineReport, error) {
+	if len(e.eng.Queries()) == 0 {
+		return nil, fmt.Errorf("aspen: no queries submitted")
+	}
+	return engineReport(e.eng.Run(epochs)), nil
+}
+
+// Report snapshots the engine's current accounting: retired queries report
+// their frozen results, live ones their traffic so far, pending ones
+// zeroes.
+func (e *Engine) Report() *EngineReport {
+	return engineReport(e.eng.Report())
+}
+
+// QueryEngineReport is one query's slice of an EngineReport. Traffic here
+// is the query's own (initiation, data, results); shared infrastructure
+// lives in EngineReport.SharedBytes.
+type QueryEngineReport struct {
+	ID        string
+	Algorithm Algorithm
+	State     string
+	// AdmitEpoch / RetireEpoch bound the live interval [admit, retire).
+	AdmitEpoch, RetireEpoch int
+	TotalBytes              int64
+	InitBytes               int64
+	BaseBytes               int64
+	MaxNodeBytes            int64
+	BytesPerNode            float64
+	Results                 int
+	MeanDelay               float64
+	InNetPairs, AtBasePairs int
+}
+
+// EngineReport is the engine's traffic accounting: shared infrastructure
+// charged once, per-query traffic per stream, and their sum. N independent
+// single-query deployments would have paid roughly SharedBytes*N +
+// QueryBytes; the engine pays SharedBytes + QueryBytes.
+type EngineReport struct {
+	Epochs                int
+	Nodes                 int
+	SharedBytes           int64
+	QueryBytes            int64
+	AggregateBytes        int64
+	AggregateBytesPerNode float64
+	Results               int
+	Queries               []QueryEngineReport
+}
+
+func engineReport(r *engine.Report) *EngineReport {
+	out := &EngineReport{
+		Epochs:                r.Epochs,
+		Nodes:                 r.Nodes,
+		SharedBytes:           r.SharedBytes,
+		QueryBytes:            r.QueryBytes,
+		AggregateBytes:        r.AggregateBytes,
+		AggregateBytesPerNode: r.AggregateBytesPerNode,
+		Results:               r.Results,
+	}
+	for _, q := range r.Queries {
+		out.Queries = append(out.Queries, QueryEngineReport{
+			ID:           q.ID,
+			Algorithm:    Algorithm(q.Algorithm),
+			State:        q.State,
+			AdmitEpoch:   q.AdmitEpoch,
+			RetireEpoch:  q.RetireEpoch,
+			TotalBytes:   q.TotalBytes,
+			InitBytes:    q.InitBytes,
+			BaseBytes:    q.BaseBytes,
+			MaxNodeBytes: q.MaxNodeBytes,
+			BytesPerNode: q.BytesPerNode,
+			Results:      q.Results,
+			MeanDelay:    q.MeanDelay,
+			InNetPairs:   q.InNetPairs,
+			AtBasePairs:  q.AtBasePairs,
+		})
+	}
+	return out
 }
 
 // Experiments lists the registered paper artifacts (fig2..fig20, tab3,

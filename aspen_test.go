@@ -147,6 +147,122 @@ func TestRunExperimentQuick(t *testing.T) {
 	}
 }
 
+// engineJobs is the facade test workload: two SQL queries and two Table 2
+// queries over one deployment.
+func engineJobs() []QueryJob {
+	return []QueryJob{
+		{ID: "sql", SQL: `SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 25 AND T.id > 50 AND S.x = T.y + 5 AND S.u = T.u`},
+		{ID: "perim", Query: Query2, Algorithm: InnetCMPG},
+		{ID: "pairs", Query: Query0, Pairs: 5, AdmitAt: 5},
+		{ID: "base", Query: Query1, Algorithm: Base, Cycles: 20, AdmitAt: 10},
+	}
+}
+
+func TestEngineFacade(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range engineJobs() {
+		if _, err := e.Submit(job); err != nil {
+			t.Fatalf("%s: %v", job.ID, err)
+		}
+	}
+	var epochs int
+	e.OnEpoch(func(s EpochStats) { epochs++ })
+	rep, err := e.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs != 40 || rep.Epochs != 40 {
+		t.Fatalf("ran %d/%d epochs", epochs, rep.Epochs)
+	}
+	if rep.SharedBytes <= 0 {
+		t.Fatal("no shared infrastructure traffic")
+	}
+	var sum int64
+	for _, q := range rep.Queries {
+		if q.State != "retired" {
+			t.Fatalf("query %s state %s", q.ID, q.State)
+		}
+		if q.TotalBytes <= 0 || q.BytesPerNode <= 0 {
+			t.Fatalf("query %s reports no traffic", q.ID)
+		}
+		sum += q.TotalBytes
+	}
+	if rep.AggregateBytes != rep.SharedBytes+sum {
+		t.Fatalf("aggregate %d != %d + %d", rep.AggregateBytes, rep.SharedBytes, sum)
+	}
+	if e.Report() == nil {
+		t.Fatal("Report() nil after Run")
+	}
+}
+
+// TestEngineSharingBeatsSeparateRuns is the tentpole acceptance property
+// at the facade level: one deployment serving N queries transmits less
+// than N single-query deployments.
+func TestEngineSharingBeatsSeparateRuns(t *testing.T) {
+	jobs := engineJobs()
+	shared, err := NewEngine(EngineConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, job := range jobs {
+		if _, err := shared.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := shared.Run(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var separate int64
+	for _, job := range jobs {
+		solo, err := NewEngine(EngineConfig{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := solo.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+		r, err := solo.Run(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		separate += r.AggregateBytes
+	}
+	if rep.AggregateBytes >= separate {
+		t.Fatalf("sharing did not win: together %d >= separate %d", rep.AggregateBytes, separate)
+	}
+}
+
+func TestEngineRejects(t *testing.T) {
+	e, err := NewEngine(EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err == nil {
+		t.Fatal("empty engine ran")
+	}
+	if _, err := e.Submit(QueryJob{}); err == nil {
+		t.Fatal("job with neither SQL nor Query accepted")
+	}
+	if _, err := e.Submit(QueryJob{SQL: "x", Query: Query1}); err == nil {
+		t.Fatal("job with both SQL and Query accepted")
+	}
+	if _, err := e.Submit(QueryJob{Query: "Q9"}); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if _, err := e.Submit(QueryJob{Query: Query1, Algorithm: "bogosort"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := NewEngine(EngineConfig{Topology: "blimp"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
 func TestMergeFlag(t *testing.T) {
 	plain, err := Run(Config{Algorithm: Base, Query: Query1, Cycles: 30})
 	if err != nil {

@@ -1,9 +1,12 @@
 package aspen
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/costmodel"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/join"
 	"repro/internal/routing"
@@ -229,5 +232,67 @@ func BenchmarkSingleRun(b *testing.B) {
 		if _, err := Run(Config{Cycles: 100, Seed: uint64(i) + 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Multi-query engine benches (internal/engine) ---------------------------
+
+// engineQueries is a pool of distinct SQL queries the concurrency benches
+// draw from round-robin.
+var engineQueries = []string{
+	`SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 25 AND T.id > 50 AND S.x = T.y + 5 AND S.u = T.u`,
+	`SELECT S.id, T.id
+FROM S, T [windowsize=1 sampleinterval=100]
+WHERE S.rid = 0 AND T.rid = 3 AND S.cid = T.cid AND S.id % 4 = T.id % 4 AND S.u = T.u`,
+	`SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u`,
+	`SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 40 AND T.id > 60 AND S.x = T.y + 5 AND S.u = T.u`,
+}
+
+// benchEngine runs nq concurrent queries for 30 epochs per iteration and
+// reports aggregate traffic, so the perf trajectory of the scheduler and
+// the shared substrate is on record at 1, 4 and 16 live queries.
+func benchEngine(b *testing.B, nq int) {
+	b.ReportAllocs()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.Options{Seed: uint64(i) + 1})
+		for q := 0; q < nq; q++ {
+			if _, err := e.Submit(engine.QueryConfig{SQL: engineQueries[q%len(engineQueries)]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		bytes += e.Run(30).AggregateBytes
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+}
+
+func BenchmarkEngine1(b *testing.B)  { benchEngine(b, 1) }
+func BenchmarkEngine4(b *testing.B)  { benchEngine(b, 4) }
+func BenchmarkEngine16(b *testing.B) { benchEngine(b, 16) }
+
+// BenchmarkSweepWorkers measures the parallel sweep runner on a
+// multi-figure experiment sweep at 1 worker vs every core: the ratio of
+// the two timings is the recorded parallel speedup (identical results —
+// see experiments.TestWorkerCountInvariance).
+func BenchmarkSweepWorkers(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.QuickConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				for _, id := range []string{"fig2", "fig4", "fig7"} {
+					e := experiments.Lookup(id)
+					if rows := e.Run(cfg); len(rows) == 0 {
+						b.Fatalf("%s produced no rows", id)
+					}
+				}
+			}
+		})
 	}
 }

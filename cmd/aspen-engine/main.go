@@ -1,0 +1,328 @@
+// Command aspen-engine runs a mixed multi-query workload — many continuous
+// queries over ONE shared sensor deployment — and reports per-query and
+// aggregate traffic, separating the shared infrastructure cost (routing
+// trees, index dissemination; charged once per network) from each query's
+// own initiation/data/result traffic. With -baseline it also runs every
+// query alone on its own deployment and prints the traffic-sharing win.
+//
+// Usage:
+//
+//	aspen-engine                          # built-in 4-query demo workload
+//	aspen-engine -f workload.sql -epochs 200 -topo dense
+//	aspen-engine -v                       # stream per-epoch progress
+//
+// Workload file format: query blocks separated by blank lines. Inside a
+// block, lines starting with "--" are directives ("-- key: value"); the
+// remaining lines are one StreamSQL statement (trailing ";" optional).
+// Directives:
+//
+//	-- id: <label>            report label (default q<n>)
+//	-- alg: <algorithm>       join strategy (default Innet-cmg)
+//	-- query: <Q0..Q3>        run a built-in Table 2 query instead of SQL
+//	-- cycles: <n>            lifetime in epochs (default: whole run)
+//	-- admit: <epoch>         admission epoch (default 0)
+//	-- sigma-s / sigma-t / sigma-st: <float>   workload rates
+//
+// Example block (one directive per line):
+//
+//	-- id: left-half
+//	-- alg: Innet-cmg
+//	-- cycles: 80
+//	SELECT S.id, T.id
+//	FROM S, T [windowsize=3 sampleinterval=100]
+//	WHERE S.id < 25 AND T.id > 50 AND S.x = T.y + 5 AND S.u = T.u;
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	aspen "repro"
+)
+
+// demoWorkload is the built-in mixed workload: four concurrent SQL queries
+// with staggered admissions over one deployment.
+const demoWorkload = `-- id: m2n-join
+-- alg: Innet-cmg
+SELECT S.id, T.id, S.local_time
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 25 AND hash(S.u) % 2 = 0
+AND T.id > 50 AND hash(T.u) % 2 = 0
+AND S.x = T.y + 5 AND S.u = T.u;
+
+-- id: perimeter
+-- alg: Innet-cmpg
+SELECT S.id, T.id
+FROM S, T [windowsize=1 sampleinterval=100]
+WHERE S.rid = 0 AND T.rid = 3
+AND S.cid = T.cid AND S.id % 4 = T.id % 4
+AND S.u = T.u;
+
+-- id: sparse-pairs
+-- alg: Innet
+-- admit: 10
+-- sigma-s: 0.1
+-- sigma-st: 0.2
+SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u;
+
+-- id: at-base
+-- alg: Base
+-- admit: 20
+-- cycles: 50
+SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 40 AND T.id > 60 AND S.x = T.y + 5 AND S.u = T.u;
+`
+
+func main() {
+	var (
+		file     = flag.String("f", "", "workload file (default: built-in 4-query demo)")
+		topo     = flag.String("topo", "moderate", "topology: sparse|moderate|medium|dense|grid|intel")
+		nodes    = flag.Int("nodes", 100, "node count (ignored for intel)")
+		trees    = flag.Int("trees", 3, "routing trees in the shared substrate")
+		epochs   = flag.Int("epochs", 100, "scheduler epochs (sampling cycles) to run")
+		seed     = flag.Uint64("seed", 1, "engine seed")
+		baseline = flag.Bool("baseline", true, "also run each query alone and report the sharing win")
+		verbose  = flag.Bool("v", false, "stream per-epoch admissions/retirements/results")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `aspen-engine: run a mixed multi-query workload over ONE shared deployment.
+
+Shared infrastructure traffic (routing trees, index dissemination) is
+charged once per network; each query's initiation/data/result traffic is
+accounted on its own stream. Reports per-query and aggregate bytes/node.
+
+usage: aspen-engine [flags]
+
+flags:
+`)
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+workload file format (-f): query blocks separated by blank lines. Lines
+starting with "--" are directives; the rest is one StreamSQL statement
+(trailing ";" optional). Directives:
+
+  -- id: <label>           report label (default q<n>)
+  -- alg: <algorithm>      Naive|Base|Yang+07|GHT|DHT|Innet|Innet-cm|
+                           Innet-cmg|Innet-cmpg|"Innet learn" (default Innet-cmg)
+  -- query: <Q0..Q3>       run a built-in Table 2 query instead of SQL
+  -- pairs: <n>            Q0 random pair count
+  -- cycles: <n>           lifetime in epochs (default: whole run)
+  -- admit: <epoch>        admission epoch (default 0)
+  -- sigma-s: <f>          producer send probability for S (likewise
+                           sigma-t, sigma-st)
+
+example block:
+
+  -- id: left-right
+  -- alg: Innet-cmg
+  -- admit: 10
+  SELECT S.id, T.id
+  FROM S, T [windowsize=3 sampleinterval=100]
+  WHERE S.id < 25 AND T.id > 50 AND S.x = T.y + 5 AND S.u = T.u;
+
+With no -f, a built-in 4-query demo workload runs.
+`)
+	}
+	flag.Parse()
+
+	src := demoWorkload
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	jobs, err := parseWorkload(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(jobs) == 0 {
+		fatal(fmt.Errorf("workload contains no queries"))
+	}
+
+	cfg := aspen.EngineConfig{
+		Topology: aspen.TopologyKind(*topo),
+		Nodes:    *nodes,
+		Trees:    *trees,
+		Seed:     *seed,
+	}
+	rep, err := runAll(cfg, jobs, *epochs, *verbose)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("aspen-engine — %d queries over one %s deployment (%d nodes, %d epochs)\n\n",
+		len(jobs), *topo, rep.Nodes, rep.Epochs)
+	fmt.Printf("%-14s %-11s %-8s %10s %12s %12s %8s %8s\n",
+		"query", "algorithm", "state", "live", "traffic KB", "KB/node", "results", "delay")
+	for _, q := range rep.Queries {
+		live := fmt.Sprintf("%d..%d", q.AdmitEpoch, q.RetireEpoch)
+		if q.AdmitEpoch < 0 {
+			live = "-"
+		}
+		fmt.Printf("%-14s %-11s %-8s %10s %12.1f %12.3f %8d %8.2f\n",
+			q.ID, q.Algorithm, q.State, live,
+			float64(q.TotalBytes)/1024, q.BytesPerNode/1024, q.Results, q.MeanDelay)
+	}
+	fmt.Printf("\nshared infrastructure  %8.1f KB   (routing trees + index dissemination, charged once)\n",
+		float64(rep.SharedBytes)/1024)
+	fmt.Printf("per-query traffic      %8.1f KB\n", float64(rep.QueryBytes)/1024)
+	fmt.Printf("aggregate              %8.1f KB   (%.3f KB/node, %d results)\n",
+		float64(rep.AggregateBytes)/1024, rep.AggregateBytesPerNode/1024, rep.Results)
+
+	if *baseline {
+		var sum int64
+		for i, job := range jobs {
+			one, err := runAll(cfg, jobs[i:i+1], *epochs, false)
+			if err != nil {
+				fatal(fmt.Errorf("baseline %s: %w", job.ID, err))
+			}
+			sum += one.AggregateBytes
+		}
+		fmt.Printf("\nunshared baseline      %8.1f KB   (each query on its own deployment)\n",
+			float64(sum)/1024)
+		fmt.Printf("sharing saved          %8.1f KB   (%.1f%%)\n",
+			float64(sum-rep.AggregateBytes)/1024,
+			100*(1-float64(rep.AggregateBytes)/float64(sum)))
+	}
+}
+
+// runAll builds an engine, submits jobs, and runs it.
+func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, verbose bool) (*aspen.EngineReport, error) {
+	e, err := aspen.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, job := range jobs {
+		if _, err := e.Submit(job); err != nil {
+			return nil, err
+		}
+	}
+	if verbose {
+		e.OnEpoch(func(s aspen.EpochStats) {
+			for _, id := range s.Admitted {
+				fmt.Printf("epoch %4d  + %s admitted (%d live)\n", s.Epoch, id, s.Live)
+			}
+			ids := make([]string, 0, len(s.NewResults))
+			for id := range s.NewResults {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				fmt.Printf("epoch %4d    %s delivered %d result(s)\n", s.Epoch, id, s.NewResults[id])
+			}
+			for _, id := range s.Retired {
+				fmt.Printf("epoch %4d  - %s retired\n", s.Epoch, id)
+			}
+		})
+	}
+	return e.Run(epochs)
+}
+
+// parseWorkload splits src into blank-line-separated blocks and parses
+// each into a QueryJob.
+func parseWorkload(src string) ([]aspen.QueryJob, error) {
+	var jobs []aspen.QueryJob
+	for bi, block := range strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n\n") {
+		block = strings.TrimSpace(block)
+		if block == "" {
+			continue
+		}
+		var job aspen.QueryJob
+		var sqlLines []string
+		for _, line := range strings.Split(block, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "#") {
+				continue
+			}
+			if strings.HasPrefix(trimmed, "--") {
+				if err := applyDirective(&job, strings.TrimSpace(strings.TrimPrefix(trimmed, "--"))); err != nil {
+					return nil, fmt.Errorf("block %d: %w", bi+1, err)
+				}
+				continue
+			}
+			if trimmed != "" {
+				sqlLines = append(sqlLines, trimmed)
+			}
+		}
+		sql := strings.TrimSuffix(strings.Join(sqlLines, "\n"), ";")
+		if sql != "" && job.Query != "" {
+			return nil, fmt.Errorf("block %d: has both SQL text and a 'query:' directive", bi+1)
+		}
+		job.SQL = sql
+		if job.SQL == "" && job.Query == "" {
+			return nil, fmt.Errorf("block %d: no SQL statement and no 'query:' directive", bi+1)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// applyDirective parses one "key: value" directive into job.
+func applyDirective(job *aspen.QueryJob, d string) error {
+	key, value, ok := strings.Cut(d, ":")
+	if !ok {
+		// A bare comment, e.g. "-- the fast half"; ignore.
+		return nil
+	}
+	key = strings.TrimSpace(strings.ToLower(key))
+	value = strings.TrimSpace(value)
+	switch key {
+	case "id":
+		job.ID = value
+	case "alg", "algorithm":
+		job.Algorithm = aspen.Algorithm(value)
+	case "query":
+		job.Query = aspen.Query(value)
+	case "cycles":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("cycles: %w", err)
+		}
+		job.Cycles = n
+	case "admit":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("admit: %w", err)
+		}
+		job.AdmitAt = n
+	case "pairs":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("pairs: %w", err)
+		}
+		job.Pairs = n
+	case "sigma-s", "sigma-t", "sigma-st":
+		f, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("%s: %w", key, err)
+		}
+		if job.Rates == (aspen.Rates{}) {
+			job.Rates = aspen.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+		}
+		switch key {
+		case "sigma-s":
+			job.Rates.SigmaS = f
+		case "sigma-t":
+			job.Rates.SigmaT = f
+		default:
+			job.Rates.SigmaST = f
+		}
+	default:
+		return fmt.Errorf("unknown directive %q", key)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

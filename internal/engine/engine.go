@@ -1,0 +1,453 @@
+// Package engine is the continuous multi-query execution engine: it admits
+// many concurrent queries (StreamSQL text or pre-compiled specs) over ONE
+// shared deployment, runs them epoch by epoch on a cooperative scheduler,
+// and charges shared infrastructure traffic — routing-tree construction
+// beacons, summary dissemination, index extension floods — once per
+// network instead of once per query.
+//
+// The single-query path (aspen.Run, internal/experiments) builds a fresh
+// substrate per run; a real sensor network serving a workload of
+// continuous queries builds its routing substrate once and amortizes it.
+// The engine makes that sharing measurable: its Report separates
+// SharedBytes (infrastructure, paid once) from per-query traffic
+// (initiation, data, results — paid by each query on its own metrics
+// stream), so "aggregate < sum of single-query deployments" is a checkable
+// inequality rather than a slogan.
+//
+// Lifecycle: Submit (compile + register, state Pending) → admission at the
+// query's AdmitAt epoch (substrate index extension charged shared,
+// algorithm initiation charged to the query, state Live) → one Step per
+// epoch → retirement after Cycles epochs or at drain (state Retired,
+// final join.Result frozen).
+//
+// Determinism: every per-query rng stream (loss model, sampler) derives
+// from the engine seed and the query's submission index, and the scheduler
+// iterates queries in submission order, so a run is a pure function of
+// (Options, submission sequence).
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/join"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Options configures the shared deployment an Engine schedules over.
+type Options struct {
+	// Kind selects the topology class (default ModerateRandom).
+	Kind topology.Kind
+	// Nodes is the deployment size (default 100).
+	Nodes int
+	// Trees is the routing-substrate tree count (default 3).
+	Trees int
+	// LossProb is the per-hop loss probability (default 5%); Lossless
+	// forces 0 (mesh-style runs).
+	LossProb float64
+	Lossless bool
+	// Seed is the engine seed every per-query stream derives from
+	// (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 100
+	}
+	if o.Trees == 0 {
+		o.Trees = 3
+	}
+	if o.LossProb == 0 && !o.Lossless {
+		o.LossProb = 0.05
+	}
+	if o.Lossless {
+		o.LossProb = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// QueryConfig describes one continuous query submitted to an Engine.
+// Exactly one of SQL and Spec must be set.
+type QueryConfig struct {
+	// ID labels the query in reports (default "q<index>"). Must be
+	// unique within the engine.
+	ID string
+	// SQL is StreamSQL text, compiled against the shared deployment via
+	// the full Appendix B pipeline.
+	SQL string
+	// Spec is a pre-compiled query spec (must be built over the engine's
+	// Topo/Nodes so node IDs and statics agree).
+	Spec *workload.Spec
+	// Algorithm is the join strategy (default In-Net + multicast +
+	// group optimization, the paper's recommended variant).
+	Algorithm join.Continuous
+	// Rates are the data-generation ground truth for this query's
+	// sampler (default the paper's 1/2:1/2 stage with sigma_st = 10%).
+	// Ignored when Spec carries its own rates.
+	Rates workload.Rates
+	// Opt, when non-nil, feeds the optimizer estimates that differ from
+	// the ground truth.
+	Opt *costmodel.Params
+	// Sampler overrides the default per-query generator (e.g. the
+	// humidity process for Query 3).
+	Sampler workload.Sampler
+	// Cycles is the query's lifetime in epochs; 0 means "until the
+	// engine run ends".
+	Cycles int
+	// AdmitAt is the epoch at which the query enters the network
+	// (default 0, i.e. immediately).
+	AdmitAt int
+}
+
+// State is a query's lifecycle position.
+type State int
+
+// Lifecycle states.
+const (
+	Pending State = iota // submitted, not yet admitted
+	Live                 // admitted, stepping every epoch
+	Retired              // finished; Result frozen
+)
+
+// String returns the report label.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Live:
+		return "live"
+	default:
+		return "retired"
+	}
+}
+
+// Query is one registered continuous query and its execution state.
+type Query struct {
+	ID      string
+	Spec    *workload.Spec
+	Alg     join.Continuous
+	Cycles  int
+	AdmitAt int
+
+	state       State
+	net         *sim.Network
+	opt         costmodel.Params
+	sampler     workload.Sampler
+	stepper     join.Stepper
+	admitEpoch  int
+	retireEpoch int
+	lastResults int
+	result      *join.Result
+}
+
+// State returns the query's lifecycle state.
+func (q *Query) State() State { return q.state }
+
+// Result returns the final result (nil until retirement).
+func (q *Query) Result() *join.Result { return q.result }
+
+// EpochStats is what the OnEpoch hook streams after every scheduler epoch.
+type EpochStats struct {
+	// Epoch is the epoch that just ran.
+	Epoch int
+	// Live is the number of queries that stepped this epoch.
+	Live int
+	// Admitted / Retired list query IDs that changed state this epoch.
+	Admitted, Retired []string
+	// NewResults maps query ID to join results delivered during this
+	// epoch (only queries with a non-zero delta appear).
+	NewResults map[string]int
+}
+
+// Engine schedules continuous queries over one shared deployment.
+type Engine struct {
+	Topo  *topology.Topology
+	Nodes []workload.NodeInfo
+	Sub   *routing.Substrate
+
+	// OnEpoch, when non-nil, streams per-epoch progress.
+	OnEpoch func(EpochStats)
+
+	opts    Options
+	shared  *sim.Network
+	queries []*Query
+	byID    map[string]*Query
+	epoch   int
+}
+
+// New builds the shared deployment: topology, node statics, the loss
+// network for infrastructure traffic, and the routing substrate with tree
+// construction charged ONCE to the shared metrics stream. Queries extend
+// the substrate's indexes incrementally at admission.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	topo := topology.Generate(opts.Kind, opts.Nodes, 1)
+	nodes := workload.BuildNodes(topo, 1)
+	shared := sim.NewNetwork(topo, opts.LossProb, opts.Seed^0xA59E17)
+	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: opts.Trees}, shared)
+	return &Engine{
+		Topo:   topo,
+		Nodes:  nodes,
+		Sub:    sub,
+		opts:   opts,
+		shared: shared,
+		byID:   map[string]*Query{},
+	}
+}
+
+// Epoch returns the next epoch the scheduler will run.
+func (e *Engine) Epoch() int { return e.epoch }
+
+// SharedBytes returns the infrastructure traffic charged once per network.
+func (e *Engine) SharedBytes() int64 { return e.shared.Metrics().TotalBytes }
+
+// Queries returns the registry in submission order.
+func (e *Engine) Queries() []*Query { return e.queries }
+
+// Submit compiles and registers a query. It may be called before Run or
+// between epochs; a query whose AdmitAt has already passed is admitted at
+// the next epoch.
+func (e *Engine) Submit(qc QueryConfig) (*Query, error) {
+	idx := len(e.queries)
+	id := qc.ID
+	if id == "" {
+		id = fmt.Sprintf("q%d", idx)
+	}
+	if _, dup := e.byID[id]; dup {
+		return nil, fmt.Errorf("engine: duplicate query id %q", id)
+	}
+	if (qc.SQL == "") == (qc.Spec == nil) {
+		return nil, fmt.Errorf("engine: query %q must set exactly one of SQL and Spec", id)
+	}
+	rates := qc.Rates
+	if rates == (workload.Rates{}) {
+		rates = workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+	}
+	spec := qc.Spec
+	if spec == nil {
+		var err error
+		spec, err = workload.SpecFromSQL(qc.SQL, e.Topo, e.Nodes, rates)
+		if err != nil {
+			return nil, fmt.Errorf("engine: query %q: %w", id, err)
+		}
+	} else {
+		rates = spec.Rates
+	}
+	alg := qc.Algorithm
+	if alg == nil {
+		alg = join.Innet{Opts: join.InnetOptions{Multicast: true, GroupOpt: true}}
+	}
+	opt := costmodel.Params{
+		SigmaS: rates.SigmaS, SigmaT: rates.SigmaT, SigmaST: rates.SigmaST, W: spec.W,
+	}
+	if qc.Opt != nil {
+		opt = *qc.Opt
+		opt.W = spec.W
+	}
+	// Independent per-query streams keyed by submission index: the loss
+	// process and the sampler never share draws across queries, so adding
+	// a query never perturbs another's run.
+	src := rng.New(e.opts.Seed).Split(uint64(idx) + 0x51)
+	net := sim.NewNetwork(e.Topo, e.opts.LossProb, src.Uint64())
+	sampler := qc.Sampler
+	if sampler == nil {
+		sampler = workload.NewGenerator(rates, src.Uint64())
+	}
+	admitAt := qc.AdmitAt
+	if admitAt < e.epoch {
+		admitAt = e.epoch
+	}
+	q := &Query{
+		ID:      id,
+		Spec:    spec,
+		Alg:     alg,
+		Cycles:  qc.Cycles,
+		AdmitAt: admitAt,
+		net:     net,
+		opt:     opt,
+		sampler: sampler,
+	}
+	e.queries = append(e.queries, q)
+	e.byID[id] = q
+	return q, nil
+}
+
+// admit moves a pending query into the network: its index needs are
+// charged to the shared substrate (incremental — attributes another query
+// already indexed are free), and the algorithm's initiation traffic to the
+// query's own stream.
+func (e *Engine) admit(q *Query, epoch int) {
+	e.Sub.ExtendIndexes(q.Spec.Indexes, e.shared)
+	if q.Spec.IndexPositions {
+		e.Sub.ExtendPositionIndex(e.shared)
+	}
+	jc := join.NewConfig(e.Topo, q.net, e.Sub, q.Spec, q.sampler, q.opt, q.Cycles)
+	q.stepper = q.Alg.Start(jc)
+	q.state = Live
+	q.admitEpoch = epoch
+}
+
+// retire freezes a live query's result.
+func (e *Engine) retire(q *Query, epoch int) {
+	q.result = q.stepper.Finish()
+	q.stepper = nil
+	q.state = Retired
+	q.retireEpoch = epoch
+}
+
+// Step runs one scheduler epoch: admissions due this epoch, then one
+// sampling cycle of every live query (in submission order), then
+// retirements. It reports whether any query is still pending or live.
+func (e *Engine) Step() bool {
+	epoch := e.epoch
+	stats := EpochStats{Epoch: epoch, NewResults: map[string]int{}}
+	for _, q := range e.queries {
+		if q.state == Pending && q.AdmitAt <= epoch {
+			e.admit(q, epoch)
+			stats.Admitted = append(stats.Admitted, q.ID)
+		}
+	}
+	for _, q := range e.queries {
+		if q.state != Live {
+			continue
+		}
+		stats.Live++
+		q.stepper.Step(epoch - q.admitEpoch)
+		if d := q.stepper.Results() - q.lastResults; d > 0 {
+			stats.NewResults[q.ID] = d
+			q.lastResults += d
+		}
+		if q.Cycles > 0 && epoch-q.admitEpoch+1 >= q.Cycles {
+			e.retire(q, epoch+1)
+			stats.Retired = append(stats.Retired, q.ID)
+		}
+	}
+	e.epoch++
+	if e.OnEpoch != nil {
+		e.OnEpoch(stats)
+	}
+	remaining := false
+	for _, q := range e.queries {
+		if q.state != Retired {
+			remaining = true
+			break
+		}
+	}
+	return remaining
+}
+
+// Run executes `epochs` scheduler epochs, then drains: every query still
+// live is retired at the horizon (queries with Cycles == 0 live exactly
+// this long), and still-pending queries stay pending. It returns the
+// report.
+func (e *Engine) Run(epochs int) *Report {
+	for i := 0; i < epochs; i++ {
+		e.Step()
+	}
+	for _, q := range e.queries {
+		if q.state == Live {
+			e.retire(q, e.epoch)
+		}
+	}
+	return e.Report()
+}
+
+// QueryReport is the per-query slice of a Report.
+type QueryReport struct {
+	ID        string
+	Algorithm string
+	State     string
+	// AdmitEpoch / RetireEpoch bound the query's live interval
+	// [AdmitEpoch, RetireEpoch).
+	AdmitEpoch, RetireEpoch int
+	// Traffic charged to this query's own metrics stream (initiation,
+	// data, results — never shared infrastructure).
+	TotalBytes, TotalMessages int64
+	InitBytes                 int64
+	BaseBytes                 int64
+	MaxNodeBytes              int64
+	// BytesPerNode is TotalBytes averaged over the deployment.
+	BytesPerNode float64
+	Results      int
+	MeanDelay    float64
+	InNetPairs   int
+	AtBasePairs  int
+}
+
+// Report aggregates the engine's traffic accounting.
+type Report struct {
+	// Epochs is how many scheduler epochs have run.
+	Epochs int
+	// Nodes is the deployment size.
+	Nodes int
+	// SharedBytes / SharedMessages are the infrastructure traffic charged
+	// once per network (tree construction, summary dissemination, index
+	// extension).
+	SharedBytes, SharedMessages int64
+	// QueryBytes is the sum of per-query traffic.
+	QueryBytes int64
+	// AggregateBytes = SharedBytes + QueryBytes: everything this
+	// deployment transmitted. N single-query deployments would have paid
+	// roughly SharedBytes*N + QueryBytes instead.
+	AggregateBytes int64
+	// AggregateBytesPerNode averages AggregateBytes over the deployment.
+	AggregateBytesPerNode float64
+	// Results totals delivered join results across queries.
+	Results int
+	// Queries reports every submitted query in submission order.
+	Queries []QueryReport
+}
+
+// Report snapshots the current accounting. Retired queries report their
+// frozen results; live queries report their metrics so far.
+func (e *Engine) Report() *Report {
+	n := e.Topo.N()
+	sm := e.shared.Metrics()
+	rep := &Report{
+		Epochs:         e.epoch,
+		Nodes:          n,
+		SharedBytes:    sm.TotalBytes,
+		SharedMessages: sm.TotalMessages,
+	}
+	for _, q := range e.queries {
+		qr := QueryReport{
+			ID:          q.ID,
+			Algorithm:   q.Alg.Name(),
+			State:       q.state.String(),
+			AdmitEpoch:  q.admitEpoch,
+			RetireEpoch: q.retireEpoch,
+		}
+		if q.state == Pending {
+			qr.AdmitEpoch, qr.RetireEpoch = -1, -1
+		}
+		if q.result != nil {
+			r := q.result
+			qr.TotalBytes, qr.TotalMessages = r.TotalBytes, r.TotalMessages
+			qr.InitBytes, qr.BaseBytes = r.InitBytes, r.BaseBytes
+			qr.MaxNodeBytes = r.MaxNodeBytes
+			qr.Results, qr.MeanDelay = r.Results, r.MeanDelay()
+			qr.InNetPairs, qr.AtBasePairs = r.InNetPairs, r.AtBasePairs
+		} else if q.state == Live {
+			m := q.net.Metrics()
+			qr.TotalBytes, qr.TotalMessages = m.TotalBytes, m.TotalMessages
+			qr.BaseBytes, qr.MaxNodeBytes = m.BaseBytes, m.MaxNodeBytes()
+			qr.Results = q.stepper.Results()
+			qr.RetireEpoch = -1
+		}
+		qr.BytesPerNode = float64(qr.TotalBytes) / float64(n)
+		rep.QueryBytes += qr.TotalBytes
+		rep.Results += qr.Results
+		rep.Queries = append(rep.Queries, qr)
+	}
+	rep.AggregateBytes = rep.SharedBytes + rep.QueryBytes
+	rep.AggregateBytesPerNode = float64(rep.AggregateBytes) / float64(n)
+	return rep
+}

@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/workload"
+)
+
+// q1SQL / q2SQL are Table 2's multi-producer queries, submitted as text the
+// way a base station would receive them.
+func q1SQL(t *testing.T) string {
+	t.Helper()
+	src, ok := workload.QueryText("Q1")
+	if !ok {
+		t.Fatal("no Q1 text")
+	}
+	return src
+}
+
+func q2SQL(t *testing.T) string {
+	t.Helper()
+	src, ok := workload.QueryText("Q2")
+	if !ok {
+		t.Fatal("no Q2 text")
+	}
+	return src
+}
+
+func TestLifecycle(t *testing.T) {
+	e := New(Options{Seed: 1})
+	qa, err := e.Submit(QueryConfig{ID: "a", SQL: q1SQL(t), Cycles: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := e.Submit(QueryConfig{ID: "b", SQL: q2SQL(t), Cycles: 20, AdmitAt: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc, err := e.Submit(QueryConfig{ID: "c", SQL: q1SQL(t), Algorithm: join.Base{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.State() != Pending || qb.State() != Pending || qc.State() != Pending {
+		t.Fatal("queries must start pending")
+	}
+
+	var admitted, retired []string
+	e.OnEpoch = func(s EpochStats) {
+		admitted = append(admitted, s.Admitted...)
+		retired = append(retired, s.Retired...)
+	}
+	rep := e.Run(30)
+
+	if qa.State() != Retired || qb.State() != Retired || qc.State() != Retired {
+		t.Fatalf("states after run: %v %v %v", qa.State(), qb.State(), qc.State())
+	}
+	if got := rep.Queries[0]; got.AdmitEpoch != 0 || got.RetireEpoch != 20 {
+		t.Fatalf("query a interval [%d,%d), want [0,20)", got.AdmitEpoch, got.RetireEpoch)
+	}
+	if got := rep.Queries[1]; got.AdmitEpoch != 5 || got.RetireEpoch != 25 {
+		t.Fatalf("query b interval [%d,%d), want [5,25)", got.AdmitEpoch, got.RetireEpoch)
+	}
+	// Cycles == 0 runs until the horizon.
+	if got := rep.Queries[2]; got.AdmitEpoch != 0 || got.RetireEpoch != 30 {
+		t.Fatalf("query c interval [%d,%d), want [0,30)", got.AdmitEpoch, got.RetireEpoch)
+	}
+	if !reflect.DeepEqual(admitted, []string{"a", "c", "b"}) {
+		t.Fatalf("admissions %v", admitted)
+	}
+	if !reflect.DeepEqual(retired, []string{"a", "b"}) { // c retires at drain
+		t.Fatalf("retirements %v", retired)
+	}
+
+	// Accounting identities.
+	var sum int64
+	results := 0
+	for _, q := range rep.Queries {
+		sum += q.TotalBytes
+		results += q.Results
+		if q.TotalBytes <= 0 {
+			t.Fatalf("query %s charged no traffic", q.ID)
+		}
+	}
+	if rep.QueryBytes != sum || rep.AggregateBytes != rep.SharedBytes+sum {
+		t.Fatalf("aggregate %d != shared %d + queries %d", rep.AggregateBytes, rep.SharedBytes, sum)
+	}
+	if rep.SharedBytes <= 0 {
+		t.Fatal("shared infrastructure traffic not charged")
+	}
+	if rep.Results != results || results == 0 {
+		t.Fatalf("results %d (per-query sum %d)", rep.Results, results)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Submit(QueryConfig{ID: "x"}); err == nil {
+		t.Fatal("no SQL and no Spec accepted")
+	}
+	if _, err := e.Submit(QueryConfig{ID: "x", SQL: "SELECT nonsense"}); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+	if _, err := e.Submit(QueryConfig{ID: "x", SQL: q1SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(QueryConfig{ID: "x", SQL: q1SQL(t)}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+// TestDeterminism: the engine is a pure function of (Options, submission
+// sequence) — two identical runs produce identical reports.
+func TestDeterminism(t *testing.T) {
+	mk := func() *Report {
+		e := New(Options{Seed: 7})
+		if _, err := e.Submit(QueryConfig{SQL: q1SQL(t), Cycles: 25}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Submit(QueryConfig{SQL: q2SQL(t), AdmitAt: 3}); err != nil {
+			t.Fatal(err)
+		}
+		spec := workload.Query3(e.Topo, e.Nodes, workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1})
+		if _, err := e.Submit(QueryConfig{
+			Spec:    spec,
+			Sampler: workload.HumiditySampler{H: workload.NewHumidity(e.Topo, 7)},
+			AdmitAt: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(40)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("reports differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestLateSubmit: a query submitted mid-run with a stale AdmitAt is
+// admitted at the next epoch, not in the past.
+func TestLateSubmit(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Submit(QueryConfig{SQL: q1SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	q, err := e.Submit(QueryConfig{ID: "late", SQL: q2SQL(t), AdmitAt: 2, Cycles: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if q.State() != Retired {
+		t.Fatalf("late query state %v", q.State())
+	}
+	rep := e.Report()
+	if got := rep.Queries[1]; got.AdmitEpoch != 10 || got.RetireEpoch != 15 {
+		t.Fatalf("late query interval [%d,%d), want [10,15)", got.AdmitEpoch, got.RetireEpoch)
+	}
+}
+
+// TestSharedTraffic is the tentpole property: one deployment serving N
+// queries transmits strictly less than N single-query deployments, because
+// routing-tree construction and index dissemination are charged once and
+// queries indexing the same attribute share its summaries.
+func TestSharedTraffic(t *testing.T) {
+	single := func(sql string) *Report {
+		e := New(Options{Seed: 3})
+		if _, err := e.Submit(QueryConfig{SQL: sql, Cycles: 30}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(30)
+	}
+	ra := single(q1SQL(t))
+	rb := single(q2SQL(t))
+
+	e := New(Options{Seed: 3})
+	if _, err := e.Submit(QueryConfig{SQL: q1SQL(t), Cycles: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(QueryConfig{SQL: q2SQL(t), Cycles: 30}); err != nil {
+		t.Fatal(err)
+	}
+	both := e.Run(30)
+
+	sumSingles := ra.AggregateBytes + rb.AggregateBytes
+	if both.AggregateBytes >= sumSingles {
+		t.Fatalf("sharing did not help: together %d >= separate %d", both.AggregateBytes, sumSingles)
+	}
+	// The shared stream itself must be cheaper than paying infrastructure
+	// twice.
+	if both.SharedBytes >= ra.SharedBytes+rb.SharedBytes {
+		t.Fatalf("shared %d >= %d+%d", both.SharedBytes, ra.SharedBytes, rb.SharedBytes)
+	}
+}
+
+// TestIndexSharing: two queries indexing the same attribute pay its
+// dissemination once — the second admission adds no shared traffic.
+func TestIndexSharing(t *testing.T) {
+	e := New(Options{Seed: 5})
+	if _, err := e.Submit(QueryConfig{SQL: q1SQL(t), Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	afterFirst := e.SharedBytes()
+	if _, err := e.Submit(QueryConfig{ID: "twin", SQL: q1SQL(t), Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	if got := e.SharedBytes(); got != afterFirst {
+		t.Fatalf("second identical query grew shared traffic: %d -> %d", afterFirst, got)
+	}
+}
+
+func TestSweepMatchesSequential(t *testing.T) {
+	job := func(i int) int { return i * i }
+	want := Sweep(100, 1, job)
+	for _, workers := range []int{2, 3, runtime.NumCPU(), 200} {
+		got := Sweep(100, workers, job)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d diverged", workers)
+		}
+	}
+	if Sweep(0, 4, job) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+// TestSweepEngineDeterminism runs a real simulation per job and checks
+// worker-count independence on the actual workload.
+func TestSweepEngineDeterminism(t *testing.T) {
+	job := func(i int) int64 {
+		e := New(Options{Seed: uint64(i) + 1, Nodes: 50})
+		src, _ := workload.QueryText("Q1")
+		if _, err := e.Submit(QueryConfig{SQL: src, Cycles: 10}); err != nil {
+			t.Error(err)
+			return 0
+		}
+		return e.Run(10).AggregateBytes
+	}
+	seq := Sweep(8, 1, job)
+	par := Sweep(8, runtime.NumCPU(), job)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("sequential %v != parallel %v", seq, par)
+	}
+}
+
+// TestAllAlgorithmsContinuous: every algorithm the facade exposes can run
+// under the scheduler.
+func TestAllAlgorithmsContinuous(t *testing.T) {
+	e := New(Options{Seed: 2})
+	algs := []join.Continuous{
+		join.Naive{}, join.Base{}, join.Yang07{},
+		join.Innet{}, join.Innet{Opts: join.InnetOptions{Multicast: true, GroupOpt: true}},
+	}
+	for i, alg := range algs {
+		if _, err := e.Submit(QueryConfig{SQL: q1SQL(t), Algorithm: alg, Cycles: 5, AdmitAt: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := e.Run(12)
+	for _, q := range rep.Queries {
+		if q.State != "retired" {
+			t.Fatalf("query %s (%s) not retired", q.ID, q.Algorithm)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep runs jobs 0..n-1 on a pool of `workers` goroutines and returns
+// their results indexed by job. workers <= 0 means runtime.NumCPU().
+//
+// Determinism contract: job(i) must derive ALL of its randomness from i
+// (per-job rng streams seeded by the job index, as every experiment here
+// does) and must not touch shared mutable state. Results land in the slice
+// at their job index, so the returned slice is byte-identical for any
+// worker count and any scheduling interleaving — which is what lets the
+// experiment registry fan figure sweeps across every core while still
+// reproducing the paper's numbers exactly.
+func Sweep[R any](n, workers int, job func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -25,6 +25,11 @@ type Config struct {
 	Quick bool
 	// Seed is the base seed; run i uses Seed+i.
 	Seed uint64
+	// Workers sizes the engine.Sweep worker pool that fans per-seed runs
+	// across CPU cores (0 = runtime.NumCPU()). Results are byte-identical
+	// for any worker count: every run derives all randomness from its
+	// seed index and results are collected in seed order.
+	Workers int
 }
 
 // DefaultConfig is the paper-faithful configuration.

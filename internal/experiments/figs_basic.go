@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/costmodel"
+	"repro/internal/engine"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -106,18 +107,19 @@ func loadDistribution(cfg Config) []Row {
 	// multicast-only point.
 	var rows []Row
 	for _, alg := range algs {
-		// Average the rank-k loads across runs.
+		// Average the rank-k loads across runs (seeds fanned across the
+		// worker pool; collected in seed order).
 		const ranks = 15
-		sums := make([][]float64, ranks)
-		for i := 0; i < cfg.Runs; i++ {
+		tops := engine.Sweep(cfg.Runs, cfg.Workers, func(i int) []int64 {
 			bb := build(s, cfg.Seed+uint64(i)*7919)
-			res := alg.Run(bb.cfg)
-			m := bb.cfg.Net.Metrics()
-			top := m.TopLoads(ranks)
+			alg.Run(bb.cfg)
+			return bb.cfg.Net.Metrics().TopLoads(ranks)
+		})
+		sums := make([][]float64, ranks)
+		for _, top := range tops {
 			for k := 0; k < ranks && k < len(top); k++ {
 				sums[k] = append(sums[k], float64(top[k])/1024)
 			}
-			_ = res
 		}
 		for k := 0; k < ranks; k++ {
 			rows = append(rows, Row{

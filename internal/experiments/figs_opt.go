@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/costmodel"
+	"repro/internal/engine"
 	"repro/internal/join"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -75,14 +76,17 @@ func fig6Setup(cycles int) setup {
 // messages through the base's single radio. The distributed scheme is the
 // In-Net initiation, whose searches proceed in parallel.
 func centralizedVsDistributed(cfg Config) []Row {
-	var cBase, dBase, cLat, dLat []float64
-	for i := 0; i < cfg.Runs; i++ {
+	type fig6Run struct {
+		cBase, dBase, cLat, dLat float64
+	}
+	runs := engine.Sweep(cfg.Runs, cfg.Workers, func(i int) fig6Run {
+		var out fig6Run
 		seed := cfg.Seed + uint64(i)*7919
 		// Distributed: run In-Net and measure its initiation-phase base
 		// traffic.
 		b := build(fig6Setup(1), seed)
 		res := join.Innet{}.Run(b.cfg)
-		dBase = append(dBase, float64(res.InitBaseBytes)/1024)
+		out.dBase = float64(res.InitBaseBytes) / 1024
 		// Latency: parallel searches; bounded by the deepest exploration
 		// chain, ~2x the network diameter in transmission cycles.
 		depth := 0
@@ -91,7 +95,7 @@ func centralizedVsDistributed(cfg Config) []Row {
 				depth = d
 			}
 		}
-		dLat = append(dLat, float64(2*depth))
+		out.dLat = float64(2 * depth)
 		_ = res
 
 		// Centralized: every node ships its neighbour list and static
@@ -114,7 +118,7 @@ func centralizedVsDistributed(cfg Config) []Row {
 				}
 			}
 		}
-		cBase = append(cBase, float64(net.Metrics().BaseBytes)/1024)
+		out.cBase = float64(net.Metrics().BaseBytes) / 1024
 		// Latency: the base's radio serializes one message per
 		// transmission cycle, so collection takes ~#messages cycles plus
 		// the depth of the deepest sender.
@@ -124,7 +128,15 @@ func centralizedVsDistributed(cfg Config) []Row {
 				depth2 = d
 			}
 		}
-		cLat = append(cLat, float64(msgsThroughBase+2*depth2))
+		out.cLat = float64(msgsThroughBase + 2*depth2)
+		return out
+	})
+	var cBase, dBase, cLat, dLat []float64
+	for _, r := range runs {
+		cBase = append(cBase, r.cBase)
+		dBase = append(dBase, r.dBase)
+		cLat = append(cLat, r.cLat)
+		dLat = append(dLat, r.dLat)
 	}
 	return []Row{
 		{Labels: []string{"centralized", "base traffic KB"}, Value: stats.Summarize(cBase)},
@@ -150,12 +162,10 @@ func optimalVsDistributed(cfg Config) []Row {
 		s.rates = workload.Rates{SigmaS: 1, SigmaT: 0, SigmaST: 0}
 		s.optOverride = &costmodel.Params{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
 
-		var dVals, oVals []float64
-		for i := 0; i < cfg.Runs; i++ {
+		pairsPerRun := engine.Sweep(cfg.Runs, cfg.Workers, func(i int) [2]float64 {
 			seed := cfg.Seed + uint64(i)*7919
 			b := build(s, seed)
 			res := join.Innet{}.Run(b.cfg)
-			dVals = append(dVals, float64(res.TotalBytes-res.InitBytes)/1024)
 			// Oracle: each s sends along the true shortest path to the
 			// optimal join node; with sigma_t=sigma_st=0 the optimum is
 			// simply min over j on the shortest path of sigma_s*D_sj —
@@ -165,8 +175,12 @@ func optimalVsDistributed(cfg Config) []Row {
 			// shortest-path data delivery from s to the optimal join
 			// node chosen by the full expression on the true path.
 			b2 := build(s, seed)
-			oracle := oracleRun(b2)
-			oVals = append(oVals, oracle)
+			return [2]float64{float64(res.TotalBytes-res.InitBytes) / 1024, oracleRun(b2)}
+		})
+		var dVals, oVals []float64
+		for _, p := range pairsPerRun {
+			dVals = append(dVals, p[0])
+			oVals = append(oVals, p[1])
 		}
 		rows = append(rows,
 			Row{Labels: []string{kind.String(), "O"}, Value: stats.Summarize(oVals)},

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/costmodel"
 	"repro/internal/dht"
+	"repro/internal/engine"
 	"repro/internal/ght"
 	"repro/internal/join"
 	"repro/internal/routing"
@@ -153,20 +154,29 @@ func averaged(cfg Config, s setup, alg join.Algorithm, m metric) stats.Summary {
 	return averagedMulti(cfg, s, alg, m)[0]
 }
 
-// averagedMulti runs alg once per seed and summarizes several metrics from
-// the same runs (a figure's "total" and "base" bars share simulations).
+// averagedMulti runs alg once per seed — fanned across the worker pool —
+// and summarizes several metrics from the same runs (a figure's "total"
+// and "base" bars share simulations). Each seed's run is self-contained
+// (own topology, network, substrate, sampler), so parallel seeds never
+// share mutable state, and collecting in seed order keeps the summaries
+// byte-identical at any worker count.
 func averagedMulti(cfg Config, s setup, alg join.Algorithm, ms ...metric) []stats.Summary {
-	vals := make([][]float64, len(ms))
-	for i := 0; i < cfg.Runs; i++ {
+	perRun := engine.Sweep(cfg.Runs, cfg.Workers, func(i int) []float64 {
 		b := build(s, cfg.Seed+uint64(i)*7919)
 		res := alg.Run(b.cfg)
+		row := make([]float64, len(ms))
 		for k, m := range ms {
-			vals[k] = append(vals[k], m(res))
+			row[k] = m(res)
 		}
-	}
+		return row
+	})
 	out := make([]stats.Summary, len(ms))
 	for k := range ms {
-		out[k] = stats.Summarize(vals[k])
+		vals := make([]float64, cfg.Runs)
+		for i, row := range perRun {
+			vals[i] = row[k]
+		}
+		out[k] = stats.Summarize(vals)
 	}
 	return out
 }

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWorkerCountInvariance: every experiment's output must be
+// byte-identical whether per-seed runs execute on one worker or on a
+// concurrent pool — the determinism contract of the engine.Sweep fan-out.
+// A pool of 4 interleaves goroutines even on a single-CPU machine, which
+// is exactly the scheduling nondeterminism the contract must survive. A
+// sample of experiments exercising all three parallelized paths
+// (averagedMulti, loadDistribution, the fig6/fig7 custom sweeps) keeps the
+// test fast.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"fig2", "fig5", "fig6", "fig7"} {
+		e := Lookup(id)
+		if e == nil {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		seq := Config{Runs: 3, Quick: true, Seed: 1, Workers: 1}
+		par := Config{Runs: 3, Quick: true, Seed: 1, Workers: 4}
+		a := e.Run(seq)
+		b := e.Run(par)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: results differ between 1 and 4 workers", id)
+		}
+	}
+}

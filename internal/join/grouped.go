@@ -25,24 +25,51 @@ type Naive struct{}
 func (Naive) Name() string { return "Naive" }
 
 // Run implements Algorithm.
-func (Naive) Run(cfg *Config) *Result {
+func (Naive) Run(cfg *Config) *Result { return runSteps(cfg, Naive{}.Start(cfg)) }
+
+// Start implements Continuous.
+func (Naive) Start(cfg *Config) Stepper {
 	res := &Result{Algorithm: "Naive"}
-	rec := newRecorder(res)
-	st := baseState(cfg)
 	// No initiation (beyond initial routing-tree construction, which is
 	// shared by every algorithm and excluded per Table 3).
 	snapshotInit(cfg, res)
-	producers := eligibleProducers(cfg.Spec, cfg.Topo.N())
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		maybeFail(cfg, cycle)
-		if cfg.Merge {
-			runBaseCycleMerged(cfg, st, rec, producers, nil, cycle)
-		} else {
-			runBaseCycle(cfg, st, rec, producers, nil, cycle)
-		}
+	return &baseStepper{
+		cfg:       cfg,
+		res:       res,
+		rec:       newRecorder(res),
+		st:        baseState(cfg),
+		producers: eligibleProducers(cfg.Spec, cfg.Topo.N()),
 	}
-	res.AtBasePairs = st.Pairs()
-	return finish(cfg, res)
+}
+
+// baseStepper is the shared continuous execution of the join-at-base
+// algorithms; filter is nil for Naive and Base's participant set.
+type baseStepper struct {
+	cfg       *Config
+	res       *Result
+	rec       *recorder
+	st        *window.State
+	producers []producerSlot
+	filter    map[producerSlot]bool
+}
+
+// Step implements Stepper.
+func (b *baseStepper) Step(cycle int) {
+	maybeFail(b.cfg, cycle)
+	if b.cfg.Merge {
+		runBaseCycleMerged(b.cfg, b.st, b.rec, b.producers, b.filter, cycle)
+	} else {
+		runBaseCycle(b.cfg, b.st, b.rec, b.producers, b.filter, cycle)
+	}
+}
+
+// Results implements Stepper.
+func (b *baseStepper) Results() int { return b.res.Results }
+
+// Finish implements Stepper.
+func (b *baseStepper) Finish() *Result {
+	b.res.AtBasePairs = b.st.Pairs()
+	return finish(b.cfg, b.res)
 }
 
 // Base refines Naive with a pre-computation step for static join clauses,
@@ -54,9 +81,11 @@ type Base struct{}
 func (Base) Name() string { return "Base" }
 
 // Run implements Algorithm.
-func (Base) Run(cfg *Config) *Result {
+func (Base) Run(cfg *Config) *Result { return runSteps(cfg, Base{}.Start(cfg)) }
+
+// Start implements Continuous.
+func (Base) Start(cfg *Config) Stepper {
 	res := &Result{Algorithm: "Base"}
-	rec := newRecorder(res)
 	st := baseState(cfg)
 	// Initiation: every statically eligible producer ships its static
 	// join attributes to the base, which answers with participate/skip.
@@ -68,17 +97,14 @@ func (Base) Run(cfg *Config) *Result {
 	}
 	snapshotInit(cfg, res)
 	// Computation: only producers participating in at least one pair send.
-	participates := participantSet(cfg.Spec)
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		maybeFail(cfg, cycle)
-		if cfg.Merge {
-			runBaseCycleMerged(cfg, st, rec, producers, participates, cycle)
-		} else {
-			runBaseCycle(cfg, st, rec, producers, participates, cycle)
-		}
+	return &baseStepper{
+		cfg:       cfg,
+		res:       res,
+		rec:       newRecorder(res),
+		st:        st,
+		producers: producers,
+		filter:    participantSet(cfg.Spec),
 	}
-	res.AtBasePairs = st.Pairs()
-	return finish(cfg, res)
 }
 
 // baseState builds the base station's join state over the query's ground
@@ -152,66 +178,94 @@ type Yang07 struct{}
 func (Yang07) Name() string { return "Yang+07" }
 
 // Run implements Algorithm.
-func (Yang07) Run(cfg *Config) *Result {
+func (Yang07) Run(cfg *Config) *Result { return runSteps(cfg, Yang07{}.Start(cfg)) }
+
+// Start implements Continuous.
+func (Yang07) Start(cfg *Config) Stepper {
 	res := &Result{Algorithm: "Yang+07"}
-	rec := newRecorder(res)
+	y := &yangStepper{
+		cfg:         cfg,
+		res:         res,
+		rec:         newRecorder(res),
+		states:      map[topology.NodeID]*window.State{},
+		partnersOfS: map[topology.NodeID][]topology.NodeID{},
+	}
 	// Per-target local join state.
-	states := map[topology.NodeID]*window.State{}
-	partnersOfS := map[topology.NodeID][]topology.NodeID{}
 	for _, g := range cfg.Spec.Groups() {
 		for _, pr := range g.Pairs {
 			s, t := pr[0], pr[1]
-			st, ok := states[t]
+			st, ok := y.states[t]
 			if !ok {
 				st = window.NewState(cfg.Spec.W, cfg.Spec.DynJoin)
-				states[t] = st
+				y.states[t] = st
 			}
 			st.AddPair(s, t)
-			partnersOfS[s] = append(partnersOfS[s], t)
+			y.partnersOfS[s] = append(y.partnersOfS[s], t)
 		}
 	}
 	snapshotInit(cfg, res) // no initiation beyond tree construction
+	return y
+}
+
+// yangStepper is the continuous execution of the through-the-base
+// algorithm.
+type yangStepper struct {
+	cfg         *Config
+	res         *Result
+	rec         *recorder
+	states      map[topology.NodeID]*window.State
+	partnersOfS map[topology.NodeID][]topology.NodeID
+}
+
+// Step implements Stepper.
+func (y *yangStepper) Step(cycle int) {
+	cfg, rec := y.cfg, y.rec
+	maybeFail(cfg, cycle)
 	n := cfg.Topo.N()
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		maybeFail(cfg, cycle)
-		// Targets first: a target's own reading joins locally for free.
-		for i := 0; i < n; i++ {
-			t := topology.NodeID(i)
-			st, ok := states[t]
-			if !ok {
-				continue
-			}
-			v, send := cfg.Sampler.Sample(t, query.T, cycle)
-			if !send {
-				continue
-			}
-			sendResults(cfg, rec, t, len(st.Arrive(t, query.T, v, cycle)), cycle)
+	// Targets first: a target's own reading joins locally for free.
+	for i := 0; i < n; i++ {
+		t := topology.NodeID(i)
+		st, ok := y.states[t]
+		if !ok {
+			continue
 		}
-		// Sources: up to the base, then relayed down to each target.
-		for i := 0; i < n; i++ {
-			s := topology.NodeID(i)
-			targets := partnersOfS[s]
-			if len(targets) == 0 {
-				continue
-			}
-			v, send := cfg.Sampler.Sample(s, query.S, cycle)
-			if !send {
-				continue
-			}
-			up := cfg.Sub.PathToBase(s)
-			if ok, _ := cfg.Net.Transfer(up, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: topology.Base}); !ok {
-				continue
-			}
-			for _, t := range targets {
-				down := cfg.Sub.PathToBase(t).Reverse()
-				if ok, _ := cfg.Net.Transfer(down, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: t}); ok {
-					sendResults(cfg, rec, t, len(states[t].Arrive(s, query.S, v, cycle)), cycle)
-				}
+		v, send := cfg.Sampler.Sample(t, query.T, cycle)
+		if !send {
+			continue
+		}
+		sendResults(cfg, rec, t, len(st.Arrive(t, query.T, v, cycle)), cycle)
+	}
+	// Sources: up to the base, then relayed down to each target.
+	for i := 0; i < n; i++ {
+		s := topology.NodeID(i)
+		targets := y.partnersOfS[s]
+		if len(targets) == 0 {
+			continue
+		}
+		v, send := cfg.Sampler.Sample(s, query.S, cycle)
+		if !send {
+			continue
+		}
+		up := cfg.Sub.PathToBase(s)
+		if ok, _ := cfg.Net.Transfer(up, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: topology.Base}); !ok {
+			continue
+		}
+		for _, t := range targets {
+			down := cfg.Sub.PathToBase(t).Reverse()
+			if ok, _ := cfg.Net.Transfer(down, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: t}); ok {
+				sendResults(cfg, rec, t, len(y.states[t].Arrive(s, query.S, v, cycle)), cycle)
 			}
 		}
 	}
-	res.InNetPairs = countPairs(cfg.Spec)
-	return finish(cfg, res)
+}
+
+// Results implements Stepper.
+func (y *yangStepper) Results() int { return y.res.Results }
+
+// Finish implements Stepper.
+func (y *yangStepper) Finish() *Result {
+	y.res.InNetPairs = countPairs(y.cfg.Spec)
+	return finish(y.cfg, y.res)
 }
 
 func countPairs(spec *workload.Spec) int {
@@ -245,20 +299,28 @@ type Hashed struct {
 func (h Hashed) Name() string { return h.Label }
 
 // Run implements Algorithm.
-func (h Hashed) Run(cfg *Config) *Result {
+func (h Hashed) Run(cfg *Config) *Result { return runSteps(cfg, h.Start(cfg)) }
+
+// member is one producer slot of a hash group and its route to the home
+// node.
+type member struct {
+	id   topology.NodeID
+	role query.Rel
+	path routing.Path
+}
+
+// ghtGroup is one join group's home node, state and membership.
+type ghtGroup struct {
+	home    topology.NodeID
+	state   *window.State
+	members []member
+}
+
+// Start implements Continuous.
+func (h Hashed) Start(cfg *Config) Stepper {
 	res := &Result{Algorithm: h.Label}
 	rec := newRecorder(res)
 	groups := cfg.Spec.Groups()
-	type member struct {
-		id   topology.NodeID
-		role query.Rel
-		path routing.Path
-	}
-	type ghtGroup struct {
-		home    topology.NodeID
-		state   *window.State
-		members []member
-	}
 	gs := make([]ghtGroup, 0, len(groups))
 	for _, g := range groups {
 		key := int32(g.Key ^ (g.Key >> 31))
@@ -291,23 +353,42 @@ func (h Hashed) Run(cfg *Config) *Result {
 		}
 	}
 	snapshotInit(cfg, res)
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		maybeFail(cfg, cycle)
-		for gi := range gs {
-			gg := &gs[gi]
-			matches := 0
-			for _, m := range gg.members {
-				v, send := cfg.Sampler.Sample(m.id, m.role, cycle)
-				if !send {
-					continue
-				}
-				if ok, _ := cfg.Net.Transfer(m.path, sim.TupleBytes, sim.Data, sim.Flow{Src: m.id, Dst: gg.home}); ok {
-					matches += len(gg.state.Arrive(m.id, m.role, v, cycle))
-				}
+	return &hashedStepper{cfg: cfg, res: res, rec: rec, gs: gs}
+}
+
+// hashedStepper is the continuous execution of a hash-addressed join.
+type hashedStepper struct {
+	cfg *Config
+	res *Result
+	rec *recorder
+	gs  []ghtGroup
+}
+
+// Step implements Stepper.
+func (h *hashedStepper) Step(cycle int) {
+	cfg := h.cfg
+	maybeFail(cfg, cycle)
+	for gi := range h.gs {
+		gg := &h.gs[gi]
+		matches := 0
+		for _, m := range gg.members {
+			v, send := cfg.Sampler.Sample(m.id, m.role, cycle)
+			if !send {
+				continue
 			}
-			sendResults(cfg, rec, gg.home, matches, cycle)
+			if ok, _ := cfg.Net.Transfer(m.path, sim.TupleBytes, sim.Data, sim.Flow{Src: m.id, Dst: gg.home}); ok {
+				matches += len(gg.state.Arrive(m.id, m.role, v, cycle))
+			}
 		}
+		sendResults(cfg, h.rec, gg.home, matches, cycle)
 	}
-	res.InNetPairs = countPairs(cfg.Spec)
-	return finish(cfg, res)
+}
+
+// Results implements Stepper.
+func (h *hashedStepper) Results() int { return h.res.Results }
+
+// Finish implements Stepper.
+func (h *hashedStepper) Finish() *Result {
+	h.res.InNetPairs = countPairs(h.cfg.Spec)
+	return finish(h.cfg, h.res)
 }

@@ -142,7 +142,12 @@ type engine struct {
 }
 
 // Run implements Algorithm.
-func (in Innet) Run(cfg *Config) *Result {
+func (in Innet) Run(cfg *Config) *Result { return runSteps(cfg, in.Start(cfg)) }
+
+// Start implements Continuous: it runs initiation (exploration, placement,
+// group optimization, multicast trees, path collapsing) and returns the
+// cycle-steppable execution.
+func (in Innet) Start(cfg *Config) Stepper {
 	e := &engine{
 		cfg:    cfg,
 		opts:   in.Opts,
@@ -154,13 +159,23 @@ func (in Innet) Run(cfg *Config) *Result {
 	e.rec = newRecorder(e.res)
 	e.initiate()
 	snapshotInit(cfg, e.res)
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		maybeFail(cfg, cycle)
-		e.runCycle(cycle)
-		if in.Opts.Learn {
-			e.endCycleLearning(cycle)
-		}
+	return e
+}
+
+// Step implements Stepper.
+func (e *engine) Step(cycle int) {
+	maybeFail(e.cfg, cycle)
+	e.runCycle(cycle)
+	if e.opts.Learn {
+		e.endCycleLearning(cycle)
 	}
+}
+
+// Results implements Stepper.
+func (e *engine) Results() int { return e.res.Results }
+
+// Finish implements Stepper.
+func (e *engine) Finish() *Result {
 	for _, p := range e.pairs {
 		if p.dead {
 			continue
@@ -172,7 +187,7 @@ func (in Innet) Run(cfg *Config) *Result {
 			e.res.PairJoinNodes = append(e.res.PairJoinNodes, p.joinNode())
 		}
 	}
-	return finish(cfg, e.res)
+	return finish(e.cfg, e.res)
 }
 
 // --- Initiation (section 3) -------------------------------------------------

@@ -102,6 +102,38 @@ type Algorithm interface {
 	Run(cfg *Config) *Result
 }
 
+// Stepper is an in-flight continuous execution of one query. Start has
+// already run initiation; the caller drives sampling cycles one at a time,
+// which lets an external scheduler (internal/engine) interleave many
+// queries over one deployment epoch by epoch.
+type Stepper interface {
+	// Step executes one sampling cycle. cycle counts from 0 at the
+	// query's admission and must increase by 1 per call.
+	Step(cycle int)
+	// Results reports join results delivered to the base station so far.
+	Results() int
+	// Finish ends the execution and returns the final result. Step must
+	// not be called after Finish.
+	Finish() *Result
+}
+
+// Continuous is an Algorithm whose execution can be driven by an external
+// epoch scheduler. Every algorithm in this package implements it; Run is
+// the single-query convenience built on top of Start.
+type Continuous interface {
+	Algorithm
+	Start(cfg *Config) Stepper
+}
+
+// runSteps drives a stepper through cfg.Cycles — the single-query path
+// behind every Algorithm.Run.
+func runSteps(cfg *Config, st Stepper) *Result {
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		st.Step(cycle)
+	}
+	return st.Finish()
+}
+
 // snapshotInit records initiation-phase costs into res.
 func snapshotInit(cfg *Config, res *Result) {
 	m := cfg.Net.Metrics()

@@ -121,6 +121,23 @@ func NewSubstrate(topo *topology.Topology, opts Options, net *sim.Network) *Subs
 	return s
 }
 
+// depthOrder returns the tree's nodes deepest-first, so children are
+// summarized before parents in a single pass.
+func (s *Substrate) depthOrder(tree *Tree) []topology.NodeID {
+	order := make([]topology.NodeID, s.Topo.N())
+	for i := range order {
+		order[i] = topology.NodeID(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := tree.Depth[order[a]], tree.Depth[order[b]]
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
 // buildTables computes, bottom-up per tree, the subtree summaries for every
 // node, charging the summary bytes shipped from each child to its parent.
 func (s *Substrate) buildTables(net *sim.Network) {
@@ -129,17 +146,7 @@ func (s *Substrate) buildTables(net *sim.Network) {
 		tbl := make([]Entry, s.Topo.N())
 		// Process nodes deepest-first so children are summarized before
 		// parents.
-		order := make([]topology.NodeID, s.Topo.N())
-		for i := range order {
-			order[i] = topology.NodeID(i)
-		}
-		sort.Slice(order, func(a, b int) bool {
-			da, db := tree.Depth[order[a]], tree.Depth[order[b]]
-			if da != db {
-				return da > db
-			}
-			return order[a] < order[b]
-		})
+		order := s.depthOrder(tree)
 		for _, id := range order {
 			e := Entry{Scalars: make(map[string]summary.Summary, len(s.specs))}
 			for _, spec := range s.specs {
@@ -195,6 +202,103 @@ func (s *Substrate) newSummary(spec IndexSpec) summary.Summary {
 		return summary.NewHistogram(spec.Lo, spec.Hi, b)
 	default:
 		return summary.DefaultBloom()
+	}
+}
+
+// HasIndex reports whether attr is already indexed in the routing tables.
+func (s *Substrate) HasIndex(attr string) bool {
+	for _, spec := range s.specs {
+		if spec.Attr == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPositionIndex reports whether R-tree region summaries are present.
+func (s *Substrate) HasPositionIndex() bool { return s.indexPos }
+
+// ExtendIndexes adds any not-yet-indexed attributes from specs to every
+// tree's routing tables, charging the incremental dissemination — each
+// non-root node ships only the NEW summaries to its parent — as control
+// traffic when net is non-nil. A static attribute's values are a property
+// of the deployment, not of any one query, so attributes already indexed
+// are skipped entirely: the first query to index an attribute pays its
+// dissemination, later queries share the table for free. This is the
+// multi-query traffic-sharing path used by internal/engine; the routing
+// trees themselves are never rebuilt.
+func (s *Substrate) ExtendIndexes(specs []IndexSpec, net *sim.Network) {
+	var fresh []IndexSpec
+	for _, spec := range specs {
+		if !s.HasIndex(spec.Attr) {
+			fresh = append(fresh, spec)
+			s.specs = append(s.specs, spec)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	for ti, tree := range s.Trees {
+		tbl := s.tables[ti]
+		for _, id := range s.depthOrder(tree) {
+			e := &tbl[id]
+			if e.Scalars == nil {
+				e.Scalars = make(map[string]summary.Summary, len(fresh))
+			}
+			for _, spec := range fresh {
+				sm := s.newSummary(spec)
+				sm.AddValue(spec.Values[id])
+				for _, c := range tree.Children[id] {
+					sm.Merge(tbl[c].Scalars[spec.Attr])
+				}
+				e.Scalars[spec.Attr] = sm
+			}
+		}
+		if net != nil {
+			for i := 0; i < s.Topo.N(); i++ {
+				id := topology.NodeID(i)
+				if p := tree.Parent[id]; p >= 0 {
+					size := 0
+					for _, spec := range fresh {
+						size += tbl[id].Scalars[spec.Attr].SizeBytes()
+					}
+					net.Transfer(Path{id, p}, size, sim.Control, sim.Flow{})
+				}
+			}
+		}
+	}
+}
+
+// ExtendPositionIndex adds the R-tree region summaries to every table
+// entry (Query 3's geometric search), charging their dissemination like
+// ExtendIndexes. A no-op when positions are already indexed.
+func (s *Substrate) ExtendPositionIndex(net *sim.Network) {
+	if s.indexPos {
+		return
+	}
+	s.indexPos = true
+	s.pos = make([]geom.Point, s.Topo.N())
+	for i := range s.pos {
+		s.pos[i] = s.Topo.Pos(topology.NodeID(i))
+	}
+	for ti, tree := range s.Trees {
+		tbl := s.tables[ti]
+		for _, id := range s.depthOrder(tree) {
+			r := summary.NewRegion()
+			r.AddPoint(s.pos[id])
+			for _, c := range tree.Children[id] {
+				r.Merge(tbl[c].Region)
+			}
+			tbl[id].Region = r
+		}
+		if net != nil {
+			for i := 0; i < s.Topo.N(); i++ {
+				id := topology.NodeID(i)
+				if p := tree.Parent[id]; p >= 0 {
+					net.Transfer(Path{id, p}, tbl[id].Region.SizeBytes(), sim.Control, sim.Flow{})
+				}
+			}
+		}
 	}
 }
 
