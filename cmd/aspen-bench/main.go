@@ -1,0 +1,117 @@
+// Command aspen-bench runs the repo's named performance scenarios from
+// fixed seeds, prints a table of wall time, allocator pressure and
+// simulated throughput, and writes BENCH_engine.json in a stable schema
+// so successive PRs record a performance trajectory. With -compare it
+// diffs the fresh run against a previously committed report and flags
+// both speed regressions and determinism drift (checksum changes).
+//
+// Usage:
+//
+//	aspen-bench                          # full run, writes BENCH_engine.json
+//	aspen-bench -quick                   # one iteration per scenario (CI)
+//	aspen-bench -run engine-16,transfer  # a subset
+//	aspen-bench -compare BENCH_engine.json   # diff against the last report
+//	aspen-bench -list                    # scenario names and descriptions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_engine.json", "report path ('' disables writing)")
+		quick   = flag.Bool("quick", false, "one iteration per scenario (CI smoke mode)")
+		run     = flag.String("run", "", "comma-separated scenario names (default: all)")
+		compare = flag.String("compare", "", "previous report to diff against (after measuring)")
+		list    = flag.Bool("list", false, "list scenarios and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range bench.Scenarios() {
+			fmt.Printf("%-14s %s\n", s.Name, s.Desc)
+		}
+		return
+	}
+
+	var names []string
+	if *run != "" {
+		for _, n := range strings.Split(*run, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+
+	var prev *bench.Report
+	if *compare != "" {
+		var err error
+		if prev, err = bench.ReadFile(*compare); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep, err := bench.Run(names, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("aspen-bench — %s %s/%s, %d CPUs, quick=%v\n\n",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU, rep.Quick)
+	fmt.Printf("%-14s %6s %12s %12s %14s %16s\n",
+		"scenario", "iters", "ms/op", "allocs/op", "traffic KB/op", "sim MB/wall-sec")
+	for _, r := range rep.Results {
+		fmt.Printf("%-14s %6d %12.2f %12d %14.1f %16.1f\n",
+			r.Name, r.Iterations, float64(r.NsPerOp)/1e6, r.AllocsPerOp,
+			float64(r.TrafficBytesPerOp)/1024, r.SimBytesPerWallSecond/(1024*1024))
+	}
+
+	if prev != nil {
+		deltas, err := bench.Compare(prev, rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nvs %s:\n", *compare)
+		drift := false
+		for _, d := range deltas {
+			switch {
+			case d.Old == nil:
+				fmt.Printf("%-14s new scenario\n", d.Name)
+			case d.New == nil:
+				fmt.Printf("%-14s removed\n", d.Name)
+			default:
+				note := ""
+				if d.ChecksumDrift {
+					note = "  CHECKSUM DRIFT (simulated outcome changed)"
+					drift = true
+				}
+				fmt.Printf("%-14s time x%.2f   allocs x%.2f%s\n", d.Name, d.NsRatio, d.AllocsRatio, note)
+			}
+		}
+		if drift {
+			fmt.Fprintln(os.Stderr, "warning: checksum drift detected — the change is semantic, not just performance")
+		}
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

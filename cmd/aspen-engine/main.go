@@ -227,15 +227,33 @@ func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, verbose b
 	return e.Run(epochs)
 }
 
+// splitBlocks cuts src at blank separator lines (lines empty after
+// trimming, so a stray space or tab on a "blank" line still separates).
+func splitBlocks(src string) []string {
+	var blocks []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			blocks = append(blocks, strings.Join(cur, "\n"))
+			cur = cur[:0]
+		}
+	}
+	for _, line := range strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n") {
+		if strings.TrimSpace(line) == "" {
+			flush()
+			continue
+		}
+		cur = append(cur, line)
+	}
+	flush()
+	return blocks
+}
+
 // parseWorkload splits src into blank-line-separated blocks and parses
 // each into a QueryJob.
 func parseWorkload(src string) ([]aspen.QueryJob, error) {
 	var jobs []aspen.QueryJob
-	for bi, block := range strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n\n") {
-		block = strings.TrimSpace(block)
-		if block == "" {
-			continue
-		}
+	for bi, block := range splitBlocks(src) {
 		var job aspen.QueryJob
 		var sqlLines []string
 		for _, line := range strings.Split(block, "\n") {

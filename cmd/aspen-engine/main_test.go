@@ -1,0 +1,155 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	aspen "repro"
+)
+
+// TestParseWorkloadDemo parses the built-in demo workload: 4 blocks with
+// the directives the usage text documents.
+func TestParseWorkloadDemo(t *testing.T) {
+	jobs, err := parseWorkload(demoWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 4 {
+		t.Fatalf("expected 4 jobs, got %d", len(jobs))
+	}
+	if jobs[0].ID != "m2n-join" || jobs[0].Algorithm != aspen.Algorithm("Innet-cmg") {
+		t.Errorf("job 0 directives not applied: %+v", jobs[0])
+	}
+	if jobs[2].AdmitAt != 10 || jobs[2].Rates.SigmaS != 0.1 || jobs[2].Rates.SigmaST != 0.2 {
+		t.Errorf("job 2 admit/rates not applied: %+v", jobs[2])
+	}
+	// sigma-t untouched by the block, so the directive default kicks in.
+	if jobs[2].Rates.SigmaT != 0.5 {
+		t.Errorf("job 2 sigma-t default wrong: %+v", jobs[2].Rates)
+	}
+	if jobs[3].Cycles != 50 || jobs[3].AdmitAt != 20 {
+		t.Errorf("job 3 cycles/admit not applied: %+v", jobs[3])
+	}
+	for i, job := range jobs {
+		if job.SQL == "" {
+			t.Errorf("job %d lost its SQL", i)
+		}
+		if strings.HasSuffix(job.SQL, ";") {
+			t.Errorf("job %d kept trailing semicolon", i)
+		}
+	}
+}
+
+// TestParseWorkloadEmpty covers empty and whitespace-only files.
+func TestParseWorkloadEmpty(t *testing.T) {
+	for _, src := range []string{"", "\n\n\n", "   \n\t\n"} {
+		jobs, err := parseWorkload(src)
+		if err != nil {
+			t.Errorf("empty input %q: unexpected error %v", src, err)
+		}
+		if len(jobs) != 0 {
+			t.Errorf("empty input %q: got %d jobs", src, len(jobs))
+		}
+	}
+}
+
+// TestParseWorkloadMalformed covers the documented error cases.
+func TestParseWorkloadMalformed(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"directive-only block", "-- id: lonely\n", "no SQL statement"},
+		{"both sql and query", "-- query: Q1\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n", "both SQL text and a 'query:' directive"},
+		{"unknown directive", "-- frobnicate: yes\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n", `unknown directive "frobnicate"`},
+		{"bad cycles", "-- cycles: soon\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n", "cycles"},
+		{"bad admit", "-- admit: later\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n", "admit"},
+		{"bad sigma", "-- sigma-s: lots\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n", "sigma-s"},
+		{"bad pairs", "-- pairs: few\n-- query: Q0\n", "pairs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseWorkload(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseWorkloadCommentsAndBareDirectives: '#' lines and bare "--"
+// comments (no colon) are ignored, not errors.
+func TestParseWorkloadComments(t *testing.T) {
+	src := "# a file comment\n-- the fast half\n-- id: q\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n"
+	jobs, err := parseWorkload(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "q" {
+		t.Fatalf("unexpected jobs: %+v", jobs)
+	}
+}
+
+// TestParseWorkloadWhitespaceSeparator: a "blank" separator line that
+// contains stray spaces or tabs still splits blocks.
+func TestParseWorkloadWhitespaceSeparator(t *testing.T) {
+	src := "-- id: a\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n \t \n-- id: b\n-- query: Q1\n"
+	jobs, err := parseWorkload(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].ID != "a" || jobs[1].ID != "b" {
+		t.Fatalf("whitespace separator did not split blocks: %+v", jobs)
+	}
+}
+
+// TestParseWorkloadCRLF: Windows line endings parse identically.
+func TestParseWorkloadCRLF(t *testing.T) {
+	unix := "-- id: a\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n\n-- id: b\n-- query: Q1\n"
+	dos := strings.ReplaceAll(unix, "\n", "\r\n")
+	ju, err := parseWorkload(unix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jd, err := parseWorkload(dos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ju) != 2 || len(jd) != 2 || ju[0].ID != jd[0].ID || ju[1].Query != jd[1].Query {
+		t.Fatalf("CRLF parse differs: %+v vs %+v", ju, jd)
+	}
+}
+
+// TestRunAllAndBaseline exercises the engine driver the -baseline flag
+// uses: a shared run over two queries must cost less than the sum of the
+// two queries run alone (the sharing inequality the flag reports).
+func TestRunAllAndBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run in -short mode")
+	}
+	jobs, err := parseWorkload("-- id: left\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n\n-- id: right\n-- query: Q1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := aspen.EngineConfig{Seed: 1}
+	shared, err := runAll(cfg, jobs, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared.Queries) != 2 || shared.AggregateBytes <= 0 {
+		t.Fatalf("implausible shared report: %+v", shared)
+	}
+	var sum int64
+	for i := range jobs {
+		one, err := runAll(cfg, jobs[i:i+1], 20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += one.AggregateBytes
+	}
+	if shared.AggregateBytes >= sum {
+		t.Errorf("sharing saved nothing: shared=%d unshared-sum=%d", shared.AggregateBytes, sum)
+	}
+}

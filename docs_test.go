@@ -1,0 +1,74 @@
+package aspen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocPresence walks every Go package in the repo — the facade,
+// internal/, cmd/ and examples/ — and asserts each has a package-level doc
+// comment of substance on at least one non-test file. This pins the godoc
+// audit: a new package (or a stripped comment) fails the build rather than
+// silently shipping undocumented.
+func TestPackageDocPresence(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgDirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
+				pkgDirs = append(pkgDirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range pkgDirs {
+		rel, _ := filepath.Rel(root, dir)
+		if rel == "" {
+			rel = "."
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: parse: %v", rel, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			doc := ""
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					doc = strings.TrimSpace(f.Doc.Text())
+					break
+				}
+			}
+			switch {
+			case doc == "":
+				t.Errorf("package %s (%s): no package-level doc comment on any file", name, rel)
+			case len(doc) < 40:
+				t.Errorf("package %s (%s): package doc comment too thin (%d chars): %q", name, rel, len(doc), doc)
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package bench is the reproducible performance-measurement subsystem:
+// a registry of named end-to-end scenarios (engine concurrency levels,
+// experiment sweeps, algorithm head-to-heads, the adaptivity loop, the
+// raw Transfer hot path), each driven from fixed seeds so its simulated
+// traffic is byte-identical on every machine, measured for wall time and
+// allocator pressure, and serialized to a stable JSON schema
+// (BENCH_engine.json) so successive PRs record a performance trajectory
+// instead of anecdotes. cmd/aspen-bench is the CLI; Compare diffs two
+// reports and flags determinism drift via per-scenario checksums.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/join"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// SchemaVersion identifies the BENCH_engine.json layout. Bump it only on
+// incompatible changes; comparison across versions is refused.
+const SchemaVersion = 1
+
+// Scenario is one named, seeded, repeatable measurement unit.
+type Scenario struct {
+	Name string
+	Desc string
+	// Run executes one measured iteration from fixed seeds and returns
+	// the simulated traffic in bytes plus a deterministic checksum
+	// (result counts, row sums); the checksum lets Compare detect
+	// semantic drift between runs recorded on different commits.
+	Run func() (traffic int64, check float64)
+}
+
+// engineSQL is the fixed query pool the engine scenarios draw from
+// round-robin — the same pool bench_test.go uses, so `go test -bench
+// Engine` and `aspen-bench` measure the same workload.
+var engineSQL = []string{
+	`SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 25 AND T.id > 50 AND S.x = T.y + 5 AND S.u = T.u`,
+	`SELECT S.id, T.id
+FROM S, T [windowsize=1 sampleinterval=100]
+WHERE S.rid = 0 AND T.rid = 3 AND S.cid = T.cid AND S.id % 4 = T.id % 4 AND S.u = T.u`,
+	`SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u`,
+	`SELECT S.id, T.id
+FROM S, T [windowsize=3 sampleinterval=100]
+WHERE S.id < 40 AND T.id > 60 AND S.x = T.y + 5 AND S.u = T.u`,
+}
+
+// engineScenario measures nq concurrent queries over one shared deployment
+// for 30 epochs — the multi-query scheduler plus the In-Net hot path.
+func engineScenario(nq int) Scenario {
+	return Scenario{
+		Name: fmt.Sprintf("engine-%d", nq),
+		Desc: fmt.Sprintf("%d concurrent quer%s over one shared 100-node deployment, 30 epochs", nq, plural(nq)),
+		Run: func() (int64, float64) {
+			e := engine.New(engine.Options{Seed: 1})
+			for q := 0; q < nq; q++ {
+				if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
+					panic("bench: engine scenario submit: " + err.Error())
+				}
+			}
+			rep := e.Run(30)
+			return rep.AggregateBytes, float64(rep.Results)
+		},
+	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
+}
+
+// singleRunConfig builds one seeded Query 1 run for the head-to-head and
+// adaptivity scenarios.
+func singleRunConfig(rates workload.Rates, opt *costmodel.Params, cycles int) *join.Config {
+	topo := topology.Generate(topology.ModerateRandom, 100, 1)
+	nodes := workload.BuildNodes(topo, 1)
+	spec := workload.Query1(topo, nodes, rates)
+	net := sim.NewNetwork(topo, 0.05, 1)
+	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 3, Indexes: spec.Indexes}, nil)
+	gen := workload.NewGenerator(rates, 42)
+	p := costmodel.Params{SigmaS: rates.SigmaS, SigmaT: rates.SigmaT, SigmaST: rates.SigmaST, W: spec.W}
+	if opt != nil {
+		p = *opt
+		p.W = spec.W
+	}
+	return join.NewConfig(topo, net, sub, spec, gen, p, cycles)
+}
+
+// Scenarios returns the fixed registry in stable order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		engineScenario(1),
+		engineScenario(4),
+		engineScenario(16),
+		{
+			Name: "sweep",
+			Desc: "parallel experiment sweep (fig2+fig4+fig7, quick config, all cores)",
+			Run: func() (int64, float64) {
+				cfg := experiments.QuickConfig()
+				check := 0.0
+				for _, id := range []string{"fig2", "fig4", "fig7"} {
+					e := experiments.Lookup(id)
+					if e == nil {
+						panic("bench: sweep scenario: experiment not registered: " + id)
+					}
+					for _, row := range e.Run(cfg) {
+						check += row.Value.Mean
+					}
+				}
+				// The sweep aggregates many runs whose traffic the rows
+				// summarize; traffic-per-op is not meaningful here.
+				return 0, check
+			},
+		},
+		{
+			Name: "innet-vs-base",
+			Desc: "In-Net (cmg) vs join-at-base head-to-head on Query 1, 50 cycles",
+			Run: func() (int64, float64) {
+				rates := workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+				in := join.Innet{Opts: join.InnetOptions{Multicast: true, GroupOpt: true}}.Run(singleRunConfig(rates, nil, 50))
+				base := join.Base{}.Run(singleRunConfig(rates, nil, 50))
+				return in.TotalBytes + base.TotalBytes, float64(in.Results + base.Results)
+			},
+		},
+		{
+			Name: "adaptivity",
+			Desc: "learning In-Net under wrong initial estimates (33% trigger), 150 cycles",
+			Run: func() (int64, float64) {
+				rates := workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+				wrong := &costmodel.Params{SigmaS: 1, SigmaT: 0.1, SigmaST: 0.2}
+				res := join.Innet{Opts: join.InnetOptions{Learn: true, Trigger: 0.33}}.Run(singleRunConfig(rates, wrong, 150))
+				return res.TotalBytes, float64(res.Results + res.Migrations)
+			},
+		},
+		{
+			Name: "transfer",
+			Desc: "raw sim.Network.Transfer along the deepest grid tree path, 10k messages",
+			Run: func() (int64, float64) {
+				topo := topology.Generate(topology.Grid, 100, 1)
+				net := sim.NewNetwork(topo, 0.05, 1)
+				tree := routing.BuildTree(topo, topology.Base, nil)
+				deepest := topology.NodeID(0)
+				for i := 1; i < topo.N(); i++ {
+					if tree.Depth[i] > tree.Depth[deepest] {
+						deepest = topology.NodeID(i)
+					}
+				}
+				path := tree.PathToRoot(deepest)
+				delivered := 0
+				for i := 0; i < 10000; i++ {
+					if ok, _ := net.Transfer(path, sim.TupleBytes, sim.Data, sim.Flow{}); ok {
+						delivered++
+					}
+				}
+				return net.Metrics().TotalBytes, float64(delivered)
+			},
+		},
+	}
+}
+
+// Result is one scenario's measurement.
+type Result struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// TrafficBytesPerOp is the simulated traffic of one iteration —
+	// byte-identical across machines and runs (0 where not meaningful).
+	TrafficBytesPerOp int64 `json:"traffic_bytes_per_op"`
+	// SimBytesPerWallSecond is simulated traffic divided by wall time:
+	// how many modeled network bytes one wall-clock second pushes through
+	// the simulator.
+	SimBytesPerWallSecond float64 `json:"sim_bytes_per_wall_second"`
+	// Checksum is the scenario's deterministic output fingerprint; a
+	// change between two reports means behavior drifted, not just speed.
+	Checksum float64 `json:"checksum"`
+}
+
+// Report is the BENCH_engine.json document.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	Quick         bool     `json:"quick"`
+	Results       []Result `json:"results"`
+}
+
+// Options controls measurement effort.
+type Options struct {
+	// MinIters is the minimum iterations per scenario (default 3; quick
+	// mode uses 1).
+	MinIters int
+	// MinTime is the minimum wall time per scenario; iterations continue
+	// until both minima are met.
+	MinTime time.Duration
+	// Quick is recorded in the report so comparisons know the effort.
+	Quick bool
+}
+
+// QuickOptions is the CI configuration: one iteration per scenario.
+func QuickOptions() Options { return Options{MinIters: 1, Quick: true} }
+
+// DefaultOptions measures each scenario at least 3 times and 1 second.
+func DefaultOptions() Options { return Options{MinIters: 3, MinTime: time.Second} }
+
+// measure runs one scenario to the configured effort and derives per-op
+// figures from aggregate wall time and allocator deltas.
+func measure(s Scenario, opts Options) Result {
+	minIters := opts.MinIters
+	if minIters < 1 {
+		minIters = 1
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var traffic int64
+	var check float64
+	iters := 0
+	for iters < minIters || time.Since(start) < opts.MinTime {
+		traffic, check = s.Run()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	r := Result{
+		Name:              s.Name,
+		Description:       s.Desc,
+		Iterations:        iters,
+		NsPerOp:           elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp:       int64(m1.Mallocs-m0.Mallocs) / int64(iters),
+		BytesPerOp:        int64(m1.TotalAlloc-m0.TotalAlloc) / int64(iters),
+		TrafficBytesPerOp: traffic,
+		Checksum:          check,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.SimBytesPerWallSecond = float64(traffic) * float64(iters) / sec
+	}
+	return r
+}
+
+// Run measures the named scenarios (all when names is empty) and returns
+// the report. Unknown names are an error.
+func Run(names []string, opts Options) (*Report, error) {
+	all := Scenarios()
+	var picked []Scenario
+	if len(names) == 0 {
+		picked = all
+	} else {
+		byName := map[string]Scenario{}
+		for _, s := range all {
+			byName[s.Name] = s
+		}
+		for _, n := range names {
+			s, ok := byName[n]
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown scenario %q", n)
+			}
+			picked = append(picked, s)
+		}
+	}
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         opts.Quick,
+	}
+	for _, s := range picked {
+		rep.Results = append(rep.Results, measure(s, opts))
+	}
+	return rep, nil
+}
+
+// WriteFile serializes the report to path as indented JSON with a trailing
+// newline (stable field order — struct order — so diffs are reviewable).
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a previously written report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Delta is one scenario's old-to-new comparison.
+type Delta struct {
+	Name string
+	// Old / New are nil when the scenario is missing on that side.
+	Old, New *Result
+	// NsRatio / AllocsRatio are new/old (1.0 = unchanged, <1 = faster or
+	// leaner); 0 when either side is missing.
+	NsRatio, AllocsRatio float64
+	// ChecksumDrift reports a determinism change: same scenario, same
+	// seeds, different simulated outcome.
+	ChecksumDrift bool
+}
+
+// Compare matches scenarios by name and computes ratios. It refuses
+// cross-schema comparisons.
+func Compare(old, new *Report) ([]Delta, error) {
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("bench: schema mismatch: old v%d vs new v%d", old.SchemaVersion, new.SchemaVersion)
+	}
+	oldBy := map[string]*Result{}
+	for i := range old.Results {
+		oldBy[old.Results[i].Name] = &old.Results[i]
+	}
+	seen := map[string]bool{}
+	var out []Delta
+	for i := range new.Results {
+		nr := &new.Results[i]
+		seen[nr.Name] = true
+		d := Delta{Name: nr.Name, New: nr}
+		if or, ok := oldBy[nr.Name]; ok {
+			d.Old = or
+			if or.NsPerOp > 0 {
+				d.NsRatio = float64(nr.NsPerOp) / float64(or.NsPerOp)
+			}
+			if or.AllocsPerOp > 0 {
+				d.AllocsRatio = float64(nr.AllocsPerOp) / float64(or.AllocsPerOp)
+			}
+			d.ChecksumDrift = or.Checksum != nr.Checksum
+		}
+		out = append(out, d)
+	}
+	for i := range old.Results {
+		if !seen[old.Results[i].Name] {
+			out = append(out, Delta{Name: old.Results[i].Name, Old: &old.Results[i]})
+		}
+	}
+	return out, nil
+}

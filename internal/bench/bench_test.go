@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestScenarioRegistry pins the registry: names are unique, non-empty and
+// stable-ordered, so BENCH_engine.json comparisons across PRs line up.
+func TestScenarioRegistry(t *testing.T) {
+	ss := Scenarios()
+	if len(ss) < 6 {
+		t.Fatalf("expected at least 6 scenarios, got %d", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		if s.Name == "" || s.Desc == "" || s.Run == nil {
+			t.Fatalf("scenario %+v incomplete", s.Name)
+		}
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"engine-1", "engine-4", "engine-16", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
+		if !seen[want] {
+			t.Errorf("scenario %q missing from registry", want)
+		}
+	}
+}
+
+// TestTransferScenarioDeterminism runs the cheapest scenario twice and
+// checks traffic and checksum are identical — the property the whole
+// trajectory file depends on.
+func TestTransferScenarioDeterminism(t *testing.T) {
+	var s Scenario
+	for _, sc := range Scenarios() {
+		if sc.Name == "transfer" {
+			s = sc
+		}
+	}
+	t1, c1 := s.Run()
+	t2, c2 := s.Run()
+	if t1 != t2 || c1 != c2 {
+		t.Fatalf("transfer scenario not deterministic: (%d,%f) vs (%d,%f)", t1, c1, t2, c2)
+	}
+	if t1 <= 0 || c1 <= 0 {
+		t.Fatalf("transfer scenario produced no traffic/deliveries: %d, %f", t1, c1)
+	}
+}
+
+// TestReportRoundTripAndCompare measures one scenario in quick mode,
+// writes the JSON report, reads it back and compares it to itself.
+func TestReportRoundTripAndCompare(t *testing.T) {
+	rep, err := Run([]string{"transfer"}, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != SchemaVersion || len(rep.Results) != 1 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	r := rep.Results[0]
+	if r.Iterations < 1 || r.NsPerOp <= 0 || r.TrafficBytesPerOp <= 0 {
+		t.Fatalf("implausible measurement: %+v", r)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_engine.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltas, err := Compare(back, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || deltas[0].ChecksumDrift {
+		t.Fatalf("self-comparison should be drift-free: %+v", deltas)
+	}
+	if deltas[0].NsRatio != 1 {
+		t.Fatalf("self-comparison ns ratio should be 1, got %f", deltas[0].NsRatio)
+	}
+}
+
+// TestRunUnknownScenario checks the error path.
+func TestRunUnknownScenario(t *testing.T) {
+	if _, err := Run([]string{"nope"}, QuickOptions()); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+}
+
+// TestCompareSchemaMismatch checks cross-version comparisons are refused.
+func TestCompareSchemaMismatch(t *testing.T) {
+	a := &Report{SchemaVersion: SchemaVersion}
+	b := &Report{SchemaVersion: SchemaVersion + 1}
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}

@@ -181,6 +181,9 @@ type Engine struct {
 	queries []*Query
 	byID    map[string]*Query
 	epoch   int
+	// unretired counts queries not yet Retired, so the scheduler answers
+	// "anything left?" without rescanning the registry every epoch.
+	unretired int
 }
 
 // New builds the shared deployment: topology, node statics, the loss
@@ -277,6 +280,7 @@ func (e *Engine) Submit(qc QueryConfig) (*Query, error) {
 	}
 	e.queries = append(e.queries, q)
 	e.byID[id] = q
+	e.unretired++
 	return q, nil
 }
 
@@ -301,47 +305,57 @@ func (e *Engine) retire(q *Query, epoch int) {
 	q.stepper = nil
 	q.state = Retired
 	q.retireEpoch = epoch
+	e.unretired--
 }
 
 // Step runs one scheduler epoch: admissions due this epoch, then one
 // sampling cycle of every live query (in submission order), then
 // retirements. It reports whether any query is still pending or live.
+//
+// The EpochStats value (and its NewResults map) is only materialized when
+// an OnEpoch hook is registered, so headless runs pay no per-epoch
+// allocation for progress streaming they never read.
 func (e *Engine) Step() bool {
 	epoch := e.epoch
-	stats := EpochStats{Epoch: epoch, NewResults: map[string]int{}}
+	track := e.OnEpoch != nil
+	var stats EpochStats
+	if track {
+		stats = EpochStats{Epoch: epoch, NewResults: map[string]int{}}
+	}
 	for _, q := range e.queries {
 		if q.state == Pending && q.AdmitAt <= epoch {
 			e.admit(q, epoch)
-			stats.Admitted = append(stats.Admitted, q.ID)
+			if track {
+				stats.Admitted = append(stats.Admitted, q.ID)
+			}
 		}
 	}
+	live := 0
 	for _, q := range e.queries {
 		if q.state != Live {
 			continue
 		}
-		stats.Live++
+		live++
 		q.stepper.Step(epoch - q.admitEpoch)
 		if d := q.stepper.Results() - q.lastResults; d > 0 {
-			stats.NewResults[q.ID] = d
+			if track {
+				stats.NewResults[q.ID] = d
+			}
 			q.lastResults += d
 		}
 		if q.Cycles > 0 && epoch-q.admitEpoch+1 >= q.Cycles {
 			e.retire(q, epoch+1)
-			stats.Retired = append(stats.Retired, q.ID)
+			if track {
+				stats.Retired = append(stats.Retired, q.ID)
+			}
 		}
 	}
 	e.epoch++
-	if e.OnEpoch != nil {
+	if track {
+		stats.Live = live
 		e.OnEpoch(stats)
 	}
-	remaining := false
-	for _, q := range e.queries {
-		if q.state != Retired {
-			remaining = true
-			break
-		}
-	}
-	return remaining
+	return e.unretired > 0
 }
 
 // Run executes `epochs` scheduler epochs, then drains: every query still

@@ -51,6 +51,11 @@ type baseStepper struct {
 	st        *window.State
 	producers []producerSlot
 	filter    map[producerSlot]bool
+	// done and matchBuf are per-cycle scratch (dual-role dedup marks and
+	// the reusable Arrive buffer) so steady-state Step calls do not
+	// allocate; done is cleared after every cycle.
+	done     []bool
+	matchBuf []window.Match
 }
 
 // Step implements Stepper.
@@ -59,7 +64,51 @@ func (b *baseStepper) Step(cycle int) {
 	if b.cfg.Merge {
 		runBaseCycleMerged(b.cfg, b.st, b.rec, b.producers, b.filter, cycle)
 	} else {
-		runBaseCycle(b.cfg, b.st, b.rec, b.producers, b.filter, cycle)
+		b.runCycle(cycle)
+	}
+}
+
+// runCycle executes one sampling cycle of a join-at-base algorithm:
+// producers sample, admitted tuples travel up the base tree, and the base
+// joins them. b.filter, when non-nil, drops producer slots not in the set
+// (Base's pre-filtering).
+func (b *baseStepper) runCycle(cycle int) {
+	cfg := b.cfg
+	if b.done == nil {
+		b.done = make([]bool, cfg.Topo.N())
+	}
+	for _, p := range b.producers {
+		if b.filter != nil && !b.filter[p] {
+			continue
+		}
+		if bothRoles(cfg.Spec, p.id) {
+			// One physical reading serves both roles; handle on the S
+			// visit and skip the T slot.
+			if b.done[p.id] {
+				continue
+			}
+			b.done[p.id] = true
+			v, send := cfg.Sampler.Sample(p.id, query.S, cycle)
+			if !send {
+				continue
+			}
+			if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(p.id), sim.TupleBytes, sim.Data, sim.Flow{Src: p.id, Dst: topology.Base}); ok {
+				b.matchBuf = b.st.ArriveBothAppend(b.matchBuf[:0], p.id, v, cycle)
+				b.rec.record(len(b.matchBuf), cycle)
+			}
+			continue
+		}
+		v, send := cfg.Sampler.Sample(p.id, p.role, cycle)
+		if !send {
+			continue
+		}
+		if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(p.id), sim.TupleBytes, sim.Data, sim.Flow{Src: p.id, Dst: topology.Base}); ok {
+			b.matchBuf = b.st.ArriveAppend(b.matchBuf[:0], p.id, p.role, v, cycle)
+			b.rec.record(len(b.matchBuf), cycle)
+		}
+	}
+	for _, p := range b.producers {
+		b.done[p.id] = false
 	}
 }
 
@@ -132,42 +181,6 @@ func participantSet(spec *workload.Spec) map[producerSlot]bool {
 	return out
 }
 
-// runBaseCycle executes one sampling cycle of a join-at-base algorithm:
-// producers sample, admitted tuples travel up the base tree, and the base
-// joins them. filter, when non-nil, drops producer slots not in the set
-// (Base's pre-filtering).
-func runBaseCycle(cfg *Config, st *window.State, rec *recorder, producers []producerSlot, filter map[producerSlot]bool, cycle int) {
-	done := map[topology.NodeID]bool{}
-	for _, p := range producers {
-		if filter != nil && !filter[p] {
-			continue
-		}
-		if bothRoles(cfg.Spec, p.id) {
-			// One physical reading serves both roles; handle on the S
-			// visit and skip the T slot.
-			if done[p.id] {
-				continue
-			}
-			done[p.id] = true
-			v, send := cfg.Sampler.Sample(p.id, query.S, cycle)
-			if !send {
-				continue
-			}
-			if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(p.id), sim.TupleBytes, sim.Data, sim.Flow{Src: p.id, Dst: topology.Base}); ok {
-				rec.record(len(st.ArriveBoth(p.id, v, cycle)), cycle)
-			}
-			continue
-		}
-		v, send := cfg.Sampler.Sample(p.id, p.role, cycle)
-		if !send {
-			continue
-		}
-		if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(p.id), sim.TupleBytes, sim.Data, sim.Flow{Src: p.id, Dst: topology.Base}); ok {
-			rec.record(len(st.Arrive(p.id, p.role, v, cycle)), cycle)
-		}
-	}
-}
-
 // Yang07 is the through-the-base algorithm of [16]: source tuples flow to
 // the base station, which relays them down to the matching target nodes;
 // targets join locally and return results to the base. It trades base
@@ -215,6 +228,7 @@ type yangStepper struct {
 	rec         *recorder
 	states      map[topology.NodeID]*window.State
 	partnersOfS map[topology.NodeID][]topology.NodeID
+	matchBuf    []window.Match // reusable Arrive buffer
 }
 
 // Step implements Stepper.
@@ -233,7 +247,8 @@ func (y *yangStepper) Step(cycle int) {
 		if !send {
 			continue
 		}
-		sendResults(cfg, rec, t, len(st.Arrive(t, query.T, v, cycle)), cycle)
+		y.matchBuf = st.ArriveAppend(y.matchBuf[:0], t, query.T, v, cycle)
+		sendResults(cfg, rec, t, len(y.matchBuf), cycle)
 	}
 	// Sources: up to the base, then relayed down to each target.
 	for i := 0; i < n; i++ {
@@ -253,7 +268,8 @@ func (y *yangStepper) Step(cycle int) {
 		for _, t := range targets {
 			down := cfg.Sub.PathToBase(t).Reverse()
 			if ok, _ := cfg.Net.Transfer(down, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: t}); ok {
-				sendResults(cfg, rec, t, len(y.states[t].Arrive(s, query.S, v, cycle)), cycle)
+				y.matchBuf = y.states[t].ArriveAppend(y.matchBuf[:0], s, query.S, v, cycle)
+				sendResults(cfg, rec, t, len(y.matchBuf), cycle)
 			}
 		}
 	}
@@ -358,10 +374,11 @@ func (h Hashed) Start(cfg *Config) Stepper {
 
 // hashedStepper is the continuous execution of a hash-addressed join.
 type hashedStepper struct {
-	cfg *Config
-	res *Result
-	rec *recorder
-	gs  []ghtGroup
+	cfg      *Config
+	res      *Result
+	rec      *recorder
+	gs       []ghtGroup
+	matchBuf []window.Match // reusable Arrive buffer
 }
 
 // Step implements Stepper.
@@ -377,7 +394,8 @@ func (h *hashedStepper) Step(cycle int) {
 				continue
 			}
 			if ok, _ := cfg.Net.Transfer(m.path, sim.TupleBytes, sim.Data, sim.Flow{Src: m.id, Dst: gg.home}); ok {
-				matches += len(gg.state.Arrive(m.id, m.role, v, cycle))
+				h.matchBuf = gg.state.ArriveAppend(h.matchBuf[:0], m.id, m.role, v, cycle)
+				matches += len(h.matchBuf)
 			}
 		}
 		sendResults(cfg, h.rec, gg.home, matches, cycle)

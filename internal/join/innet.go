@@ -139,6 +139,22 @@ type engine struct {
 	order  []producerKey // deterministic iteration order
 	states map[topology.NodeID]*window.State
 	groups [][]*pairState
+
+	// Per-cycle scratch, sized to the topology at Start, so steady-state
+	// Step calls do not allocate: dense NodeID-indexed marks replace the
+	// per-cycle maps, touched lists bound the reset work, and the match /
+	// hop buffers are reused across cycles. Every buffer is reset before
+	// (or immediately after) use, so no state leaks between cycles.
+	matchCount  []int             // per-join-node matches this cycle
+	matchOrder  []topology.NodeID // join nodes with matches, first-touch order
+	matchBuf    []window.Match    // reusable Arrive result buffer
+	reached     []bool            // multicast: nodes reached this dissemination
+	reachedIDs  []topology.NodeID // touched entries of reached
+	isJoin      []bool            // multicast: join-node membership marks
+	joinList    []topology.NodeID // touched entries of isJoin
+	delivered   []bool            // unicast: join nodes already served
+	deliveredTo []topology.NodeID // touched entries of delivered
+	hop         [2]topology.NodeID
 }
 
 // Run implements Algorithm.
@@ -148,13 +164,18 @@ func (in Innet) Run(cfg *Config) *Result { return runSteps(cfg, in.Start(cfg)) }
 // group optimization, multicast trees, path collapsing) and returns the
 // cycle-steppable execution.
 func (in Innet) Start(cfg *Config) Stepper {
+	n := cfg.Topo.N()
 	e := &engine{
-		cfg:    cfg,
-		opts:   in.Opts,
-		res:    &Result{Algorithm: in.Name()},
-		byPair: map[[2]topology.NodeID]*pairState{},
-		prods:  map[producerKey]*producerState{},
-		states: map[topology.NodeID]*window.State{},
+		cfg:        cfg,
+		opts:       in.Opts,
+		res:        &Result{Algorithm: in.Name()},
+		byPair:     map[[2]topology.NodeID]*pairState{},
+		prods:      map[producerKey]*producerState{},
+		states:     map[topology.NodeID]*window.State{},
+		matchCount: make([]int, n),
+		reached:    make([]bool, n),
+		isJoin:     make([]bool, n),
+		delivered:  make([]bool, n),
 	}
 	e.rec = newRecorder(e.res)
 	e.initiate()
@@ -539,22 +560,9 @@ func (e *engine) collapsePaths() {
 func (e *engine) runCycle(cycle int) {
 	cfg := e.cfg
 	// Per cycle, deliveries from a producer are deduplicated per join
-	// node, and results are merged per join node.
-	matchesAt := map[topology.NodeID]int{}
-	var matchOrder []topology.NodeID
-	addMatches := func(j topology.NodeID, ms []window.Match) {
-		if len(ms) > 0 {
-			if _, ok := matchesAt[j]; !ok {
-				matchOrder = append(matchOrder, j)
-			}
-			matchesAt[j] += len(ms)
-		}
-		for _, m := range ms {
-			if p, ok := e.byPair[[2]topology.NodeID{m.S, m.T}]; ok && p.est != nil {
-				p.est.ObserveResults(1)
-			}
-		}
-	}
+	// node, and results are merged per join node (dense counts in
+	// e.matchCount, first-touch order in e.matchOrder).
+	e.matchOrder = e.matchOrder[:0]
 	for _, key := range e.order {
 		ps := e.prods[key]
 		if !cfg.Net.Alive(key.id) {
@@ -564,20 +572,43 @@ func (e *engine) runCycle(cycle int) {
 		if !send {
 			continue
 		}
-		ps.recent = append(ps.recent, window.Tuple{Producer: key.id, Value: v, Cycle: cycle})
-		if len(ps.recent) > cfg.Spec.W {
-			ps.recent = ps.recent[1:]
+		t := window.Tuple{Producer: key.id, Value: v, Cycle: cycle}
+		if len(ps.recent) >= cfg.Spec.W {
+			// Slide the retained-tuple window in place instead of
+			// re-slicing off the front, which would regrow the backing
+			// array on every future append.
+			copy(ps.recent, ps.recent[1:])
+			ps.recent[len(ps.recent)-1] = t
+		} else {
+			ps.recent = append(ps.recent, t)
 		}
-		e.deliver(ps, v, cycle, addMatches)
+		e.deliver(ps, v, cycle)
 	}
-	for _, j := range matchOrder {
-		sendResults(cfg, e.rec, j, matchesAt[j], cycle)
+	for _, j := range e.matchOrder {
+		sendResults(cfg, e.rec, j, e.matchCount[j], cycle)
+		e.matchCount[j] = 0
+	}
+}
+
+// noteMatches merges ms into the per-cycle result accounting and feeds the
+// learning estimators; it replaces the per-cycle addMatches closure.
+func (e *engine) noteMatches(j topology.NodeID, ms []window.Match) {
+	if len(ms) > 0 {
+		if e.matchCount[j] == 0 {
+			e.matchOrder = append(e.matchOrder, j)
+		}
+		e.matchCount[j] += len(ms)
+	}
+	for i := range ms {
+		if p, ok := e.byPair[[2]topology.NodeID{ms[i].S, ms[i].T}]; ok && p.est != nil {
+			p.est.ObserveResults(1)
+		}
 	}
 }
 
 // deliver sends producer ps's tuple to all its join nodes (multicast or
 // pairwise) and to the base for its base-joined pairs.
-func (e *engine) deliver(ps *producerState, v int32, cycle int, addMatches func(topology.NodeID, []window.Match)) {
+func (e *engine) deliver(ps *producerState, v int32, cycle int) {
 	cfg := e.cfg
 	// Base-side pairs: one tree-routed send serves all of them.
 	hasBase := false
@@ -589,26 +620,27 @@ func (e *engine) deliver(ps *producerState, v int32, cycle int, addMatches func(
 	}
 	if hasBase {
 		if ok, _ := cfg.Net.Transfer(cfg.Sub.PathToBase(ps.key.id), sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: topology.Base}); ok {
-			e.arriveAt(topology.Base, ps, v, cycle, addMatches)
+			e.arriveAt(topology.Base, ps, v, cycle)
 		}
 		// Base-station failure is outside the model (Appendix C assumes a
 		// powered, reliable base).
 	}
 	if e.opts.Multicast && ps.tree != nil {
-		e.deliverMulticast(ps, v, cycle, addMatches)
+		e.deliverMulticast(ps, v, cycle)
 		return
 	}
 	// Pairwise unicast with explicit path vectors.
-	delivered := map[topology.NodeID]bool{}
+	e.deliveredTo = e.deliveredTo[:0]
 	for _, p := range ps.pairs {
 		if p.dead || p.jIdx < 0 {
 			continue
 		}
 		j := p.joinNode()
-		if delivered[j] {
+		if e.delivered[j] {
 			continue
 		}
-		delivered[j] = true
+		e.delivered[j] = true
+		e.deliveredTo = append(e.deliveredTo, j)
 		seg := p.sSegment()
 		if ps.key.role == query.T {
 			seg = p.tSegment()
@@ -619,50 +651,62 @@ func (e *engine) deliver(ps *producerState, v int32, cycle int, addMatches func(
 		// just the tuple.
 		ok, _ := cfg.Net.Transfer(seg, sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: j, Path: seg})
 		if ok {
-			e.arriveAt(j, ps, v, cycle, addMatches)
+			e.arriveAt(j, ps, v, cycle)
 			continue
 		}
 		e.handleDeliveryFailure(ps, p, cycle)
+	}
+	for _, j := range e.deliveredTo {
+		e.delivered[j] = false
 	}
 }
 
 // deliverMulticast walks the producer's tree edge by edge; a failed edge
 // prunes its subtree for this cycle. Cached interior state means the
 // payload is just the tuple.
-func (e *engine) deliverMulticast(ps *producerState, v int32, cycle int, addMatches func(topology.NodeID, []window.Match)) {
+func (e *engine) deliverMulticast(ps *producerState, v int32, cycle int) {
 	cfg := e.cfg
 	tree := ps.tree
-	reached := map[topology.NodeID]bool{ps.key.id: true}
-	joinNodes := map[topology.NodeID]bool{}
+	e.reachedIDs = e.reachedIDs[:0]
+	e.reached[ps.key.id] = true
+	e.reachedIDs = append(e.reachedIDs, ps.key.id)
+	e.joinList = e.joinList[:0]
 	for _, p := range ps.pairs {
 		if !p.dead && p.jIdx >= 0 {
-			joinNodes[p.joinNode()] = true
+			if j := p.joinNode(); !e.isJoin[j] {
+				e.isJoin[j] = true
+				e.joinList = append(e.joinList, j)
+			}
 		}
 	}
 	anyFailure := false
 	for _, edge := range tree.EdgeList() {
 		parent, child := edge[0], edge[1]
-		if !reached[parent] {
+		if !e.reached[parent] {
 			continue
 		}
-		ok, _ := cfg.Net.Transfer(routing.Path{parent, child}, sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: child})
+		e.hop[0], e.hop[1] = parent, child
+		ok, _ := cfg.Net.Transfer(e.hop[:], sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: child})
 		if !ok {
 			if !cfg.Net.Alive(child) {
 				anyFailure = true
 			}
 			continue
 		}
-		reached[child] = true
+		e.reached[child] = true
+		e.reachedIDs = append(e.reachedIDs, child)
 	}
-	ordered := make([]topology.NodeID, 0, len(joinNodes))
-	for j := range joinNodes {
-		ordered = append(ordered, j)
-	}
-	sort.Slice(ordered, func(a, b int) bool { return ordered[a] < ordered[b] })
-	for _, j := range ordered {
-		if reached[j] {
-			e.arriveAt(j, ps, v, cycle, addMatches)
+	// Insertion sort: join-node fan-out is small and sort.Slice allocates
+	// (closure + reflect-based swapper) on every call.
+	routing.SortNodeIDs(e.joinList)
+	for _, j := range e.joinList {
+		e.isJoin[j] = false
+		if e.reached[j] {
+			e.arriveAt(j, ps, v, cycle)
 		}
+	}
+	for _, id := range e.reachedIDs {
+		e.reached[id] = false
 	}
 	if anyFailure {
 		for _, p := range ps.pairs {
@@ -675,7 +719,7 @@ func (e *engine) deliverMulticast(ps *producerState, v int32, cycle int, addMatc
 
 // arriveAt feeds the tuple into the join state at j for every of ps's
 // pairs joined there, observing learning counters.
-func (e *engine) arriveAt(j topology.NodeID, ps *producerState, v int32, cycle int, addMatches func(topology.NodeID, []window.Match)) {
+func (e *engine) arriveAt(j topology.NodeID, ps *producerState, v int32, cycle int) {
 	st := e.stateAt(j)
 	relevant := false
 	for _, p := range ps.pairs {
@@ -694,7 +738,8 @@ func (e *engine) arriveAt(j topology.NodeID, ps *producerState, v int32, cycle i
 	if !relevant {
 		return
 	}
-	addMatches(j, st.Arrive(ps.key.id, ps.key.role, v, cycle))
+	e.matchBuf = st.ArriveAppend(e.matchBuf[:0], ps.key.id, ps.key.role, v, cycle)
+	e.noteMatches(j, e.matchBuf)
 }
 
 // --- Failure handling (section 7) --------------------------------------------

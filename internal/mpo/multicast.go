@@ -24,6 +24,11 @@ type MulticastTree struct {
 	parent map[topology.NodeID]topology.NodeID
 	// leaves are the join nodes the tree must reach.
 	leaves map[topology.NodeID]bool
+	// edges caches EdgeList's topological edge order. A tree is immutable
+	// once built (reconfiguration builds a new tree), and multicast
+	// delivery walks the edge list every sampling cycle, so it is computed
+	// once on first use and shared. Callers must not mutate it.
+	edges [][2]topology.NodeID
 }
 
 // BuildMulticast unions the given root-originated paths into a tree. Each
@@ -98,8 +103,12 @@ func (t *MulticastTree) PathTo(n topology.NodeID) routing.Path {
 // order: an edge never appears before the edge delivering to its parent,
 // so walking the list transmission by transmission models one multicast
 // dissemination correctly even when an edge fails and prunes its subtree.
-// Sibling order is ascending child ID for determinism.
+// Sibling order is ascending child ID for determinism. The returned slice
+// is cached on the tree and shared across calls; treat it as read-only.
 func (t *MulticastTree) EdgeList() [][2]topology.NodeID {
+	if t.edges != nil {
+		return t.edges
+	}
 	kids := map[topology.NodeID][]topology.NodeID{}
 	for n, p := range t.parent {
 		if p != -1 {
@@ -119,6 +128,7 @@ func (t *MulticastTree) EdgeList() [][2]topology.NodeID {
 			queue = append(queue, c)
 		}
 	}
+	t.edges = out
 	return out
 }
 

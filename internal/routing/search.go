@@ -62,7 +62,7 @@ func (s *Substrate) FindTargets(src topology.NodeID, m Matcher, net *sim.Network
 		for target := range found {
 			targets = append(targets, target)
 		}
-		sortNodeIDs(targets)
+		SortNodeIDs(targets)
 		for _, target := range targets {
 			p := found[target]
 			net.Transfer(p.Reverse(), probeKeyBytes+p.Hops()*sim.PathEntryBytes, sim.Control,
@@ -72,28 +72,51 @@ func (s *Substrate) FindTargets(src topology.NodeID, m Matcher, net *sim.Network
 	return found
 }
 
+// search is the per-FindTargets scratch state: one growable path buffer
+// shared by the whole traversal (record clones before retaining, so pushing
+// and popping hops on the shared buffer is safe) and one 2-element hop
+// buffer for probe charges. Both exist so a search allocates O(found)
+// instead of O(visited).
+type search struct {
+	s      *Substrate
+	ti     int
+	tree   *Tree
+	m      Matcher
+	net    *sim.Network
+	record func(topology.NodeID, Path)
+	buf    Path
+	hop    [2]topology.NodeID
+}
+
+func (w *search) alive(id topology.NodeID) bool { return w.net == nil || w.net.Alive(id) }
+
+// charge accounts one probe hop from -> to carrying the current path vector.
+func (w *search) charge(from, to topology.NodeID) {
+	if w.net != nil {
+		w.hop[0], w.hop[1] = from, to
+		w.net.Transfer(w.hop[:], probeKeyBytes+w.buf.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
+	}
+}
+
 func (s *Substrate) searchTree(ti int, tree *Tree, src topology.NodeID, m Matcher, net *sim.Network, record func(topology.NodeID, Path)) {
-	alive := func(id topology.NodeID) bool { return net == nil || net.Alive(id) }
-	if !alive(src) {
+	w := &search{s: s, ti: ti, tree: tree, m: m, net: net, record: record, buf: Path{src}}
+	if !w.alive(src) {
 		return
 	}
 	// Phase 1: descend through src's own subtree.
-	s.descend(ti, tree, src, Path{src}, m, net, record, alive)
+	w.descend(src)
 	// Phase 2: ascend toward the root, descending into each ancestor's
 	// other subtrees.
-	up := Path{src}
 	cur := src
 	for tree.Parent[cur] >= 0 {
 		parent := tree.Parent[cur]
-		if !alive(parent) {
+		if !w.alive(parent) {
 			break
 		}
-		if net != nil {
-			net.Transfer(Path{cur, parent}, probeKeyBytes+up.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
-		}
-		up = append(up, parent)
+		w.charge(cur, parent)
+		w.buf = append(w.buf, parent)
 		if m.MatchNode(parent) {
-			record(parent, up)
+			record(parent, w.buf)
 		}
 		for _, sib := range tree.Children[parent] {
 			if sib == cur {
@@ -102,44 +125,46 @@ func (s *Substrate) searchTree(ti int, tree *Tree, src topology.NodeID, m Matche
 			if !m.MayMatchSubtree(s.Entry(ti, sib)) {
 				continue
 			}
-			if !alive(sib) {
+			if !w.alive(sib) {
 				continue
 			}
-			if net != nil {
-				net.Transfer(Path{parent, sib}, probeKeyBytes+up.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
-			}
-			branch := append(up.Clone(), sib)
+			w.charge(parent, sib)
+			w.buf = append(w.buf, sib)
 			if m.MatchNode(sib) {
-				record(sib, branch)
+				record(sib, w.buf)
 			}
-			s.descend(ti, tree, sib, branch, m, net, record, alive)
+			w.descend(sib)
+			w.buf = w.buf[:len(w.buf)-1]
 		}
 		cur = parent
 	}
 }
 
-// descend explores the subtree below node along tree edges, pruning with
-// routing-table summaries, extending prefix (which ends at node).
-func (s *Substrate) descend(ti int, tree *Tree, node topology.NodeID, prefix Path, m Matcher, net *sim.Network, record func(topology.NodeID, Path), alive func(topology.NodeID) bool) {
-	for _, c := range tree.Children[node] {
-		if !m.MayMatchSubtree(s.Entry(ti, c)) {
+// descend explores the subtree below node (the last element of w.buf) along
+// tree edges, pruning with routing-table summaries.
+func (w *search) descend(node topology.NodeID) {
+	for _, c := range w.tree.Children[node] {
+		if !w.m.MayMatchSubtree(w.s.Entry(w.ti, c)) {
 			continue
 		}
-		if !alive(c) {
+		if !w.alive(c) {
 			continue
 		}
-		if net != nil {
-			net.Transfer(Path{node, c}, probeKeyBytes+prefix.Hops()*sim.PathEntryBytes, sim.Control, sim.Flow{})
+		w.charge(node, c)
+		w.buf = append(w.buf, c)
+		if w.m.MatchNode(c) {
+			w.record(c, w.buf)
 		}
-		p := append(prefix.Clone(), c)
-		if m.MatchNode(c) {
-			record(c, p)
-		}
-		s.descend(ti, tree, c, p, m, net, record, alive)
+		w.descend(c)
+		w.buf = w.buf[:len(w.buf)-1]
 	}
 }
 
-func sortNodeIDs(xs []topology.NodeID) {
+// SortNodeIDs sorts ascending in place without the per-call allocations
+// of sort.Slice — shared by the hot loops that order small node lists
+// every cycle (exploration responses here, join-node fan-out in
+// internal/join).
+func SortNodeIDs(xs []topology.NodeID) {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]

@@ -78,6 +78,12 @@ type Tree struct {
 	Parent   []topology.NodeID // -1 at the root
 	Depth    []int
 	Children [][]topology.NodeID
+
+	// rootPaths[id] is the cached parent-chain path id -> Root. Trees are
+	// immutable after construction, so the paths are computed once and
+	// shared by every PathToRoot call (hot path: every tuple routed to the
+	// base walks one).
+	rootPaths []Path
 }
 
 // BuildTree constructs a routing tree rooted at root. When net is non-nil,
@@ -106,17 +112,25 @@ func BuildTree(topo *topology.Topology, root topology.NodeID, net *sim.Network) 
 			net.Broadcast(topology.NodeID(i), beacon, sim.Control)
 		}
 	}
+	t.rootPaths = make([]Path, n)
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		p := make(Path, 0, depth[id]+1)
+		p = append(p, id)
+		for parent[id] >= 0 {
+			id = parent[id]
+			p = append(p, id)
+		}
+		t.rootPaths[i] = p
+	}
 	return t
 }
 
-// PathToRoot returns the parent-chain path from id to the root.
+// PathToRoot returns the parent-chain path from id to the root. The
+// returned path is a shared, cached slice: callers must treat it as
+// read-only (Reverse/Clone/Concat all copy).
 func (t *Tree) PathToRoot(id topology.NodeID) Path {
-	p := Path{id}
-	for t.Parent[id] >= 0 {
-		id = t.Parent[id]
-		p = append(p, id)
-	}
-	return p
+	return t.rootPaths[id]
 }
 
 // TreePath returns the unique tree path between a and b (up to the lowest

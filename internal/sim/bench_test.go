@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// BenchmarkTransfer measures the per-hop accounting hot path: one 10-hop
+// transfer per op on a lossy line, retransmissions included. The hop loop
+// must stay allocation-free — per-node metrics are dense slices and the
+// loss process draws without boxing.
+func BenchmarkTransfer(b *testing.B) {
+	topo := topology.Generate(topology.Grid, 100, 1)
+	net := NewNetwork(topo, 0.05, 1)
+	// Longest parent chain in a BFS tree from the base.
+	depth, parent := topo.BFS(topology.Base)
+	deepest := topology.NodeID(0)
+	for i := 1; i < topo.N(); i++ {
+		if depth[i] > depth[deepest] {
+			deepest = topology.NodeID(i)
+		}
+	}
+	var path []topology.NodeID
+	for at := deepest; at >= 0; at = parent[at] {
+		path = append(path, at)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Transfer(path, TupleBytes, Data, Flow{})
+	}
+}
+
+// BenchmarkBroadcast measures the one-hop accounting path.
+func BenchmarkBroadcast(b *testing.B) {
+	topo := topology.Generate(topology.Grid, 100, 1)
+	net := NewNetwork(topo, 0.05, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Broadcast(5, TupleBytes, Control)
+	}
+}

@@ -230,14 +230,24 @@ func (n *Network) Alive(id topology.NodeID) bool { return !n.dead[id] }
 // chargeHop accounts one transmission attempt of size bytes from node
 // `from` to node `to`.
 func (n *Network) chargeHop(from, to topology.NodeID, bytes int, kind MsgKind) {
-	n.metrics.TotalBytes += int64(bytes)
-	n.metrics.TotalMessages++
-	n.metrics.NodeBytes[from] += int64(bytes)
-	n.metrics.NodeMessages[from]++
-	n.metrics.ByKind[kind] += int64(bytes)
+	n.chargeHopN(from, to, bytes, kind, 1)
+}
+
+// chargeHopN accounts `attempts` transmission attempts of size bytes on the
+// hop from -> to in one batched metrics update. The counters end up
+// byte-identical to attempts successive chargeHop calls; batching exists so
+// the retransmission loop in Transfer touches each metric once per hop
+// instead of once per attempt.
+func (n *Network) chargeHopN(from, to topology.NodeID, bytes int, kind MsgKind, attempts int) {
+	total := int64(bytes) * int64(attempts)
+	n.metrics.TotalBytes += total
+	n.metrics.TotalMessages += int64(attempts)
+	n.metrics.NodeBytes[from] += total
+	n.metrics.NodeMessages[from] += int64(attempts)
+	n.metrics.ByKind[kind] += total
 	if from == topology.Base || to == topology.Base {
-		n.metrics.BaseBytes += int64(bytes)
-		n.metrics.BaseMessages++
+		n.metrics.BaseBytes += total
+		n.metrics.BaseMessages += int64(attempts)
 	}
 }
 
@@ -271,25 +281,25 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 		if n.dead[to] {
 			// The sender transmits, discovers the next hop is gone
 			// (no ack after all retries), and aborts.
-			attempts := 1 + n.MaxRetries
-			for a := 0; a < attempts; a++ {
-				n.chargeHop(from, to, size, kind)
-			}
+			n.chargeHopN(from, to, size, kind, 1+n.MaxRetries)
 			n.metrics.Retransmissions += int64(n.MaxRetries)
 			n.metrics.Drops++
 			return false, i
 		}
+		// Draw the loss process exactly as before (one draw per attempt,
+		// stopping at the first success), then account all attempts in one
+		// batched update.
 		ok := false
+		attempts := 0
 		for attempt := 0; attempt <= n.MaxRetries; attempt++ {
-			n.chargeHop(from, to, size, kind)
-			if attempt > 0 {
-				n.metrics.Retransmissions++
-			}
+			attempts++
 			if !n.loss.Bool(n.LossProb) {
 				ok = true
 				break
 			}
 		}
+		n.chargeHopN(from, to, size, kind, attempts)
+		n.metrics.Retransmissions += int64(attempts - 1)
 		if !ok {
 			n.metrics.Drops++
 			return false, i + 1

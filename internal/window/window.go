@@ -146,36 +146,67 @@ func (st *State) PairsFor(p topology.NodeID, role query.Rel) int {
 // p's own window (evicting the expired tuple). Matches are returned in
 // deterministic partner order.
 func (st *State) Arrive(p topology.NodeID, role query.Rel, value int32, cycle int) []Match {
-	var out []Match
-	nt := Tuple{Producer: p, Value: value, Cycle: cycle}
+	return st.ArriveAppend(nil, p, role, value, cycle)
+}
+
+// ArriveAppend is Arrive with a caller-supplied result buffer: matches are
+// appended to dst and the extended slice returned, so a hot loop that
+// reuses its buffer across cycles joins without allocating. Ring iteration
+// is by index (no callback) for the same reason.
+func (st *State) ArriveAppend(dst []Match, p topology.NodeID, role query.Rel, value int32, cycle int) []Match {
 	if role == query.S {
-		for _, t := range st.partnersS[p] {
-			if win, ok := st.windows[t]; ok {
-				win.each(func(old Tuple) {
-					if st.dyn(value, old.Value) {
-						out = append(out, Match{S: p, T: t, SV: value, TV: old.Value, Cycle: cycle, OldCycle: old.Cycle})
-					}
-				})
-			}
-		}
+		dst = st.probeAsS(dst, p, value, cycle)
 	} else {
-		for _, s := range st.partnersT[p] {
-			if win, ok := st.windows[s]; ok {
-				win.each(func(old Tuple) {
-					if st.dyn(old.Value, value) {
-						out = append(out, Match{S: s, T: p, SV: old.Value, TV: value, Cycle: cycle, OldCycle: old.Cycle})
-					}
-				})
+		dst = st.probeAsT(dst, p, value, cycle)
+	}
+	st.buffer(p, value, cycle)
+	return dst
+}
+
+// probeAsS joins value (from producer p acting as S) against the buffered
+// windows of p's T partners.
+func (st *State) probeAsS(dst []Match, p topology.NodeID, value int32, cycle int) []Match {
+	for _, t := range st.partnersS[p] {
+		win, ok := st.windows[t]
+		if !ok {
+			continue
+		}
+		for i := 0; i < win.n; i++ {
+			old := &win.buf[(win.start+i)%len(win.buf)]
+			if st.dyn(value, old.Value) {
+				dst = append(dst, Match{S: p, T: t, SV: value, TV: old.Value, Cycle: cycle, OldCycle: old.Cycle})
 			}
 		}
 	}
+	return dst
+}
+
+// probeAsT joins value (from producer p acting as T) against the buffered
+// windows of p's S partners.
+func (st *State) probeAsT(dst []Match, p topology.NodeID, value int32, cycle int) []Match {
+	for _, s := range st.partnersT[p] {
+		win, ok := st.windows[s]
+		if !ok {
+			continue
+		}
+		for i := 0; i < win.n; i++ {
+			old := &win.buf[(win.start+i)%len(win.buf)]
+			if st.dyn(old.Value, value) {
+				dst = append(dst, Match{S: s, T: p, SV: old.Value, TV: value, Cycle: cycle, OldCycle: old.Cycle})
+			}
+		}
+	}
+	return dst
+}
+
+// buffer enqueues the tuple into p's own window, creating it on first use.
+func (st *State) buffer(p topology.NodeID, value int32, cycle int) {
 	win, ok := st.windows[p]
 	if !ok {
 		win = newRing(st.w)
 		st.windows[p] = win
 	}
-	win.push(nt)
-	return out
+	win.push(Tuple{Producer: p, Value: value, Cycle: cycle})
 }
 
 // ArriveBoth processes a tuple from a producer that participates in both
@@ -183,32 +214,16 @@ func (st *State) Arrive(p topology.NodeID, role query.Rel, value int32, cycle in
 // against its t-partners and as T against its s-partners, but is buffered
 // exactly once — a sensor has one physical window per reading stream.
 func (st *State) ArriveBoth(p topology.NodeID, value int32, cycle int) []Match {
-	var out []Match
-	for _, t := range st.partnersS[p] {
-		if win, ok := st.windows[t]; ok {
-			win.each(func(old Tuple) {
-				if st.dyn(value, old.Value) {
-					out = append(out, Match{S: p, T: t, SV: value, TV: old.Value, Cycle: cycle, OldCycle: old.Cycle})
-				}
-			})
-		}
-	}
-	for _, s := range st.partnersT[p] {
-		if win, ok := st.windows[s]; ok {
-			win.each(func(old Tuple) {
-				if st.dyn(old.Value, value) {
-					out = append(out, Match{S: s, T: p, SV: old.Value, TV: value, Cycle: cycle, OldCycle: old.Cycle})
-				}
-			})
-		}
-	}
-	win, ok := st.windows[p]
-	if !ok {
-		win = newRing(st.w)
-		st.windows[p] = win
-	}
-	win.push(Tuple{Producer: p, Value: value, Cycle: cycle})
-	return out
+	return st.ArriveBothAppend(nil, p, value, cycle)
+}
+
+// ArriveBothAppend is ArriveBoth with a caller-supplied result buffer,
+// mirroring ArriveAppend.
+func (st *State) ArriveBothAppend(dst []Match, p topology.NodeID, value int32, cycle int) []Match {
+	dst = st.probeAsS(dst, p, value, cycle)
+	dst = st.probeAsT(dst, p, value, cycle)
+	st.buffer(p, value, cycle)
+	return dst
 }
 
 // Snapshot extracts the windows of the given producers, ordered for

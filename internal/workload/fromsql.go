@@ -32,12 +32,23 @@ func SpecFromSQL(src string, topo *topology.Topology, nodes []NodeInfo, rates Ra
 	}
 	primary := c.Primary[0]
 
+	// The compiled predicates are evaluated once per node or per candidate
+	// pair on every exploration probe, so the bindings are two reusable
+	// heap cells mutated in place rather than fresh values boxed into the
+	// Binding interface on every call. Specs are driven by one goroutine
+	// per run (the engine steps queries sequentially; sweep workers build
+	// their own specs), which makes the reuse safe.
+	pairCell := &PairBinding{}
 	bindingFor := func(s, t topology.NodeID) query.Binding {
-		return PairBinding{S: &nodes[s], T: &nodes[t]}
+		pairCell.S, pairCell.T = &nodes[s], &nodes[t]
+		return pairCell
 	}
+	selfCell := &PairBinding{}
 	selfBinding := func(id topology.NodeID) query.Binding {
-		return PairBinding{S: &nodes[id], T: &nodes[id]}
+		selfCell.S, selfCell.T = &nodes[id], &nodes[id]
+		return selfCell
 	}
+	dynCell := &dynBinding{}
 
 	// The substrate indexes the primary target attribute; values come from
 	// the node statics through the same binding the evaluator uses.
@@ -60,7 +71,8 @@ func SpecFromSQL(src string, topo *topology.Topology, nodes []NodeInfo, rates Ra
 			return c.Parts.JoinStatic.Eval(bindingFor(s, t))
 		},
 		DynJoin: func(sv, tv int32) bool {
-			return c.Parts.JoinDynamic.Eval(dynBinding{sv: sv, tv: tv})
+			dynCell.sv, dynCell.tv = sv, tv
+			return c.Parts.JoinDynamic.Eval(dynCell)
 		},
 		Indexes: []routing.IndexSpec{{
 			Attr:   primary.TargetAttr,
