@@ -11,6 +11,7 @@
 //	aspen-bench -quick                   # one iteration per scenario (CI)
 //	aspen-bench -run engine-16,transfer  # a subset
 //	aspen-bench -compare BENCH_engine.json   # diff against the last report
+//	aspen-bench -compare BENCH_engine.json -fail-on-drift  # CI determinism gate
 //	aspen-bench -list                    # scenario names and descriptions
 package main
 
@@ -25,11 +26,12 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_engine.json", "report path ('' disables writing)")
-		quick   = flag.Bool("quick", false, "one iteration per scenario (CI smoke mode)")
-		run     = flag.String("run", "", "comma-separated scenario names (default: all)")
-		compare = flag.String("compare", "", "previous report to diff against (after measuring)")
-		list    = flag.Bool("list", false, "list scenarios and exit")
+		out         = flag.String("out", "BENCH_engine.json", "report path ('' disables writing)")
+		quick       = flag.Bool("quick", false, "one iteration per scenario (CI smoke mode)")
+		run         = flag.String("run", "", "comma-separated scenario names (default: all)")
+		compare     = flag.String("compare", "", "previous report to diff against (after measuring)")
+		failOnDrift = flag.Bool("fail-on-drift", false, "exit non-zero when -compare detects a determinism-checksum change (CI gate)")
+		list        = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
 
@@ -89,6 +91,12 @@ func main() {
 				fmt.Printf("%-14s new scenario\n", d.Name)
 			case d.New == nil:
 				fmt.Printf("%-14s removed\n", d.Name)
+				// A baseline scenario vanishing is determinism drift too —
+				// but only on a full run; with -run a subset, unselected
+				// scenarios are expected to be absent.
+				if *run == "" {
+					drift = true
+				}
 			default:
 				note := ""
 				if d.ChecksumDrift {
@@ -100,6 +108,16 @@ func main() {
 		}
 		if drift {
 			fmt.Fprintln(os.Stderr, "warning: checksum drift detected — the change is semantic, not just performance")
+			if *failOnDrift {
+				// Write the report first so the drifted artifact can be
+				// inspected, then fail the run (CI gates on this).
+				if *out != "" {
+					if err := rep.WriteFile(*out); err != nil {
+						fatal(err)
+					}
+				}
+				os.Exit(1)
+			}
 		}
 	}
 

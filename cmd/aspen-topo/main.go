@@ -75,11 +75,15 @@ func main() {
 			f    pathFn
 		}{"GPSR", r.Route})
 	}
+	// Full-graph shortest paths: one memoized BFS parent vector per
+	// destination, so the all-pairs loop below runs n traversals instead
+	// of one per ordered pair.
+	parents := topology.NewParentCache(topo)
 	schemes = append(schemes, struct {
 		name string
 		f    pathFn
 	}{"full graph", func(a, b topology.NodeID) routing.Path {
-		_, parent := topo.BFS(b)
+		parent := parents.Parents(b)
 		p := routing.Path{a}
 		for at := a; at != b; {
 			at = parent[at]

@@ -109,6 +109,37 @@ func Scenarios() []Scenario {
 		engineScenario(4),
 		engineScenario(16),
 		{
+			Name: "engine-1k",
+			Desc: "2 concurrent queries over one shared 1000-node Moderate Random deployment, 10 epochs",
+			Run: func() (int64, float64) {
+				e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: 1000})
+				for q := 0; q < 2; q++ {
+					if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
+						panic("bench: engine-1k scenario submit: " + err.Error())
+					}
+				}
+				rep := e.Run(10)
+				return rep.AggregateBytes, float64(rep.Results)
+			},
+		},
+		{
+			Name: "topo-2k",
+			Desc: "2000-node Moderate Random topology construction + base routing tree (grid-bucketed neighbor discovery)",
+			Run: func() (int64, float64) {
+				topo := topology.Generate(topology.ModerateRandom, 2000, 1)
+				tree := routing.BuildTree(topo, topology.Base, nil)
+				depthSum := 0
+				for _, d := range tree.Depth {
+					depthSum += d
+				}
+				// Construction is traffic-free; the checksum fingerprints
+				// the layout (calibrated radio, exact edge count) and the
+				// tree shape, so any drift in the construction path shows.
+				check := topo.RadioRange()*1e6 + topo.AvgDegree()*float64(topo.N()) + float64(depthSum)
+				return 0, check
+			},
+		},
+		{
 			Name: "sweep",
 			Desc: "parallel experiment sweep (fig2+fig4+fig7, quick config, all cores)",
 			Run: func() (int64, float64) {

@@ -22,7 +22,7 @@ func TestScenarioRegistry(t *testing.T) {
 		}
 		seen[s.Name] = true
 	}
-	for _, want := range []string{"engine-1", "engine-4", "engine-16", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
+	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-1k", "topo-2k", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
 		if !seen[want] {
 			t.Errorf("scenario %q missing from registry", want)
 		}

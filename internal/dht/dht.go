@@ -12,24 +12,45 @@
 package dht
 
 import (
+	"sort"
+
 	"repro/internal/routing"
 	"repro/internal/topology"
 )
 
-// Ring is a consistent-hashing ring over a topology's nodes.
+// Ring is a consistent-hashing ring over a topology's nodes. Per-
+// destination routing state is memoized in a concurrency-safe
+// topology.ParentCache, so one Ring may be shared across parallel
+// experiment workers.
 type Ring struct {
 	topo *topology.Topology
 	// ids[i] is the ring position of node i.
 	ids []uint64
+	// order holds node indices sorted by ring position, so HomeNode is a
+	// binary search instead of a full successor scan per key.
+	order []topology.NodeID
+	// parents memoizes the BFS parent vector toward each routed
+	// destination: Route answers from it instead of re-running a full
+	// BFS (two O(n) allocations) per routed message.
+	parents *topology.ParentCache
 }
 
 // NewRing builds the ring for topo. Ring positions derive from node IDs by
 // hashing, so the assignment is deterministic and locality-free.
 func NewRing(topo *topology.Topology) *Ring {
-	r := &Ring{topo: topo, ids: make([]uint64, topo.N())}
+	r := &Ring{
+		topo:    topo,
+		ids:     make([]uint64, topo.N()),
+		parents: topology.NewParentCache(topo),
+	}
+	r.order = make([]topology.NodeID, topo.N())
 	for i := range r.ids {
 		r.ids[i] = mix(uint64(i) + 1)
+		r.order[i] = topology.NodeID(i)
 	}
+	// Ring positions are distinct (mix is a bijection over distinct
+	// inputs), so this order is unambiguous.
+	sort.Slice(r.order, func(a, b int) bool { return r.ids[r.order[a]] < r.ids[r.order[b]] })
 	return r
 }
 
@@ -41,37 +62,27 @@ func mix(z uint64) uint64 {
 }
 
 // HomeNode returns the node owning key: the node whose ring position is
-// the smallest position >= hash(key), wrapping around.
+// the smallest position >= hash(key), wrapping around. Binary search over
+// the sorted ring, identical result to a full successor scan.
 func (r *Ring) HomeNode(key int32) topology.NodeID {
 	h := mix(uint64(uint32(key)))
-	best := topology.NodeID(-1)
-	var bestPos uint64
-	// Successor scan; n is small (<= a few hundred nodes).
-	for i, pos := range r.ids {
-		if pos >= h && (best < 0 || pos < bestPos) {
-			best, bestPos = topology.NodeID(i), pos
-		}
+	at := sort.Search(len(r.order), func(i int) bool { return r.ids[r.order[i]] >= h })
+	if at == len(r.order) {
+		at = 0 // wrap: smallest position overall
 	}
-	if best >= 0 {
-		return best
-	}
-	// Wrap: smallest position overall.
-	best, bestPos = 0, r.ids[0]
-	for i, pos := range r.ids[1:] {
-		if pos < bestPos {
-			best, bestPos = topology.NodeID(i+1), pos
-		}
-	}
-	return best
+	return r.order[at]
 }
 
 // Route returns the underlay path from src to dst: the shortest hop-path
-// in the physical topology (BFS, deterministic tie-breaking).
+// in the physical topology (BFS, deterministic tie-breaking). The BFS
+// parent vector toward each destination is computed once per Ring and
+// memoized, so routing many messages to the same home node costs one
+// traversal, not one per message.
 func (r *Ring) Route(src, dst topology.NodeID) routing.Path {
 	if src == dst {
 		return routing.Path{src}
 	}
-	_, parent := r.topo.BFS(dst) // parents point one hop closer to dst
+	parent := r.parents.Parents(dst) // entries point one hop closer to dst
 	if parent[src] < 0 && src != dst {
 		return nil // disconnected (not produced by our generators)
 	}

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -92,4 +93,28 @@ func TestRouteSelf(t *testing.T) {
 	if len(p) != 1 || p[0] != 4 {
 		t.Fatalf("self route = %v", p)
 	}
+}
+
+// TestRingRouteConcurrent pins the sharing contract: one Ring is shared
+// across parallel sweep workers (meshAlgorithms), so the lazy per-
+// destination route memoization must be race-free. Run with -race.
+func TestRingRouteConcurrent(t *testing.T) {
+	topo := topology.Generate(topology.ModerateRandom, 60, 1)
+	r := NewRing(topo)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := 0; a < topo.N(); a++ {
+				for b := 0; b < topo.N(); b++ {
+					if p := r.Route(topology.NodeID(a), topology.NodeID(b)); len(p) == 0 {
+						t.Errorf("no route %d -> %d", a, b)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -179,7 +179,10 @@ func pathStats(topo *topology.Topology, scheme string, cfg Config) (avgHops, max
 			return p1.Concat(p2)
 		}
 	case "Full graph":
-		pathOf = func(a, b topology.NodeID) routing.Path { return shortestPath(topo, a, b) }
+		// One memoized BFS parent vector per destination: the all-pairs
+		// loop below costs n traversals instead of n^2.
+		paths := newPathCache(topo)
+		pathOf = paths.shortestPath
 	default:
 		panic("unknown scheme " + scheme)
 	}
@@ -354,11 +357,7 @@ func mobility(cfg Config) []Row {
 		up := tree.PathToRoot(leaf)
 		// Old chain invalidation + new chain installation ~ 2x the
 		// ancestor chain, each hop shipping the indexed summaries.
-		entry := sub.Entry(0, leaf)
-		size := 0
-		for _, sm := range entry.Scalars {
-			size += sm.SizeBytes()
-		}
+		size := sub.Entry(0, leaf).ScalarSizeBytes()
 		for i := 0; i+1 < len(up); i++ {
 			net.Transfer(routing.Path{up[i], up[i+1]}, size, sim.Control, sim.Flow{})
 			net.Transfer(routing.Path{up[i], up[i+1]}, size, sim.Control, sim.Flow{})

@@ -197,10 +197,11 @@ func optimalVsDistributed(cfg Config) []Row {
 func oracleRun(b *built) float64 {
 	var total float64
 	opt := b.cfg.Opt
+	paths := newPathCache(b.topo)
 	for _, g := range b.spec.Groups() {
 		for _, pr := range g.Pairs {
 			s, t := pr[0], pr[1]
-			path := shortestPath(b.topo, s, t)
+			path := paths.shortestPath(s, t)
 			depths := make([]int, len(path))
 			for i, n := range path {
 				depths[i] = b.cfg.Sub.DepthToBase(n)
@@ -232,9 +233,22 @@ func oracleRun(b *built) float64 {
 	return total / 1024
 }
 
-// shortestPath returns a true shortest hop path (BFS) between a and b.
-func shortestPath(topo *topology.Topology, a, b topology.NodeID) routing.Path {
-	_, parent := topo.BFS(b)
+// pathCache answers true-shortest-path queries over one topology through
+// a topology.ParentCache: a pair loop costs one BFS per distinct
+// destination instead of one per pair, and paths are identical to a fresh
+// BFS per query (same lowest-parent tie-breaking).
+type pathCache struct {
+	parents *topology.ParentCache
+}
+
+func newPathCache(topo *topology.Topology) *pathCache {
+	return &pathCache{parents: topology.NewParentCache(topo)}
+}
+
+// shortestPath returns a true shortest hop path between a and b, walking
+// the memoized parent vector toward b.
+func (c *pathCache) shortestPath(a, b topology.NodeID) routing.Path {
+	parent := c.parents.Parents(b)
 	p := routing.Path{a}
 	for at := a; at != b; {
 		at = parent[at]

@@ -50,7 +50,7 @@ type baseStepper struct {
 	rec       *recorder
 	st        *window.State
 	producers []producerSlot
-	filter    map[producerSlot]bool
+	filter    *participantFilter
 	// done and matchBuf are per-cycle scratch (dual-role dedup marks and
 	// the reusable Arrive buffer) so steady-state Step calls do not
 	// allocate; done is cleared after every cycle.
@@ -78,7 +78,7 @@ func (b *baseStepper) runCycle(cycle int) {
 		b.done = make([]bool, cfg.Topo.N())
 	}
 	for _, p := range b.producers {
-		if b.filter != nil && !b.filter[p] {
+		if b.filter != nil && !b.filter.has(p) {
 			continue
 		}
 		if bothRoles(cfg.Spec, p.id) {
@@ -152,7 +152,7 @@ func (Base) Start(cfg *Config) Stepper {
 		rec:       newRecorder(res),
 		st:        st,
 		producers: producers,
-		filter:    participantSet(cfg.Spec),
+		filter:    participantSet(cfg.Spec, cfg.Topo.N()),
 	}
 }
 
@@ -169,13 +169,28 @@ func baseState(cfg *Config) *window.State {
 	return st
 }
 
-// participantSet marks (node, role) slots that appear in at least one pair.
-func participantSet(spec *workload.Spec) map[producerSlot]bool {
-	out := map[producerSlot]bool{}
+// participantFilter marks (node, role) slots that appear in at least one
+// pair — dense per-role bitmaps so the per-producer admission test in the
+// cycle loop is a slice index instead of a hash of a struct key.
+type participantFilter struct {
+	s, t []bool
+}
+
+func (f *participantFilter) has(p producerSlot) bool {
+	if p.role == query.S {
+		return f.s[p.id]
+	}
+	return f.t[p.id]
+}
+
+// participantSet builds the participation filter over a deployment of n
+// nodes.
+func participantSet(spec *workload.Spec, n int) *participantFilter {
+	out := &participantFilter{s: make([]bool, n), t: make([]bool, n)}
 	for _, g := range spec.Groups() {
 		for _, p := range g.Pairs {
-			out[producerSlot{p[0], query.S}] = true
-			out[producerSlot{p[1], query.T}] = true
+			out.s[p[0]] = true
+			out.t[p[1]] = true
 		}
 	}
 	return out
@@ -200,15 +215,15 @@ func (Yang07) Start(cfg *Config) Stepper {
 		cfg:         cfg,
 		res:         res,
 		rec:         newRecorder(res),
-		states:      map[topology.NodeID]*window.State{},
-		partnersOfS: map[topology.NodeID][]topology.NodeID{},
+		states:      make([]*window.State, cfg.Topo.N()),
+		partnersOfS: make([][]topology.NodeID, cfg.Topo.N()),
 	}
 	// Per-target local join state.
 	for _, g := range cfg.Spec.Groups() {
 		for _, pr := range g.Pairs {
 			s, t := pr[0], pr[1]
-			st, ok := y.states[t]
-			if !ok {
+			st := y.states[t]
+			if st == nil {
 				st = window.NewState(cfg.Spec.W, cfg.Spec.DynJoin)
 				y.states[t] = st
 			}
@@ -223,11 +238,14 @@ func (Yang07) Start(cfg *Config) Stepper {
 // yangStepper is the continuous execution of the through-the-base
 // algorithm.
 type yangStepper struct {
-	cfg         *Config
-	res         *Result
-	rec         *recorder
-	states      map[topology.NodeID]*window.State
-	partnersOfS map[topology.NodeID][]topology.NodeID
+	cfg *Config
+	res *Result
+	rec *recorder
+	// states[t] is target t's local join state; partnersOfS[s] lists s's
+	// matching targets. Dense NodeID-indexed slices (nil/empty when the
+	// node plays no part).
+	states      []*window.State
+	partnersOfS [][]topology.NodeID
 	matchBuf    []window.Match // reusable Arrive buffer
 }
 
@@ -239,8 +257,8 @@ func (y *yangStepper) Step(cycle int) {
 	// Targets first: a target's own reading joins locally for free.
 	for i := 0; i < n; i++ {
 		t := topology.NodeID(i)
-		st, ok := y.states[t]
-		if !ok {
+		st := y.states[t]
+		if st == nil {
 			continue
 		}
 		v, send := cfg.Sampler.Sample(t, query.T, cycle)

@@ -126,18 +126,25 @@ type producerState struct {
 	recent []window.Tuple
 }
 
-// engine is the mutable run state of one In-Net execution.
+// engine is the mutable run state of one In-Net execution. All per-node
+// lookup tables are dense NodeID-indexed slices rather than maps: at
+// thousands of nodes the per-cycle map hashing dominated the hot path, and
+// NodeIDs are already a compact [0, n) key space.
 type engine struct {
 	cfg   *Config
 	opts  InnetOptions
 	res   *Result
 	rec   *recorder
 	pairs []*pairState
-	// byPair resolves a (s,t) match back to its pairState.
-	byPair map[[2]topology.NodeID]*pairState
-	prods  map[producerKey]*producerState
-	order  []producerKey // deterministic iteration order
-	states map[topology.NodeID]*window.State
+	// pairsOfS[s] lists the pairs whose source endpoint is s; a (s,t)
+	// match resolves to its pairState by scanning this (short) bucket.
+	pairsOfS [][]*pairState
+	// prodS[id] / prodT[id] are the producer slots by role (nil when the
+	// node does not fill that role).
+	prodS, prodT []*producerState
+	order        []producerKey // deterministic iteration order
+	// states[j] is the join state hosted at node j (nil until created).
+	states []*window.State
 	groups [][]*pairState
 
 	// Per-cycle scratch, sized to the topology at Start, so steady-state
@@ -169,9 +176,10 @@ func (in Innet) Start(cfg *Config) Stepper {
 		cfg:        cfg,
 		opts:       in.Opts,
 		res:        &Result{Algorithm: in.Name()},
-		byPair:     map[[2]topology.NodeID]*pairState{},
-		prods:      map[producerKey]*producerState{},
-		states:     map[topology.NodeID]*window.State{},
+		pairsOfS:   make([][]*pairState, n),
+		prodS:      make([]*producerState, n),
+		prodT:      make([]*producerState, n),
+		states:     make([]*window.State, n),
 		matchCount: make([]int, n),
 		reached:    make([]bool, n),
 		isJoin:     make([]bool, n),
@@ -235,7 +243,7 @@ func (e *engine) initiate() {
 			p := &pairState{s: s, t: t, path: path, group: -1}
 			e.placePair(p, cfg.Opt, true)
 			e.pairs = append(e.pairs, p)
-			e.byPair[[2]topology.NodeID{s, t}] = p
+			e.pairsOfS[s] = append(e.pairsOfS[s], p)
 			if e.opts.Learn {
 				p.est = adapt.New(e.placementParams(cfg.Opt))
 				if e.opts.Trigger > 0 {
@@ -299,20 +307,42 @@ func (e *engine) placePair(p *pairState, opt costmodel.Params, charge bool) {
 	}
 }
 
+// prodFor returns the producer slot for key, or nil when absent.
+func (e *engine) prodFor(key producerKey) *producerState {
+	if key.role == query.S {
+		return e.prodS[key.id]
+	}
+	return e.prodT[key.id]
+}
+
 func (e *engine) addProducerPair(key producerKey, p *pairState) {
-	ps, ok := e.prods[key]
-	if !ok {
+	ps := e.prodFor(key)
+	if ps == nil {
 		ps = &producerState{key: key}
-		e.prods[key] = ps
+		if key.role == query.S {
+			e.prodS[key.id] = ps
+		} else {
+			e.prodT[key.id] = ps
+		}
 		e.order = append(e.order, key)
 	}
 	ps.pairs = append(ps.pairs, p)
 }
 
+// pairFor resolves a (s, t) match back to its pairState (nil when absent).
+func (e *engine) pairFor(s, t topology.NodeID) *pairState {
+	for _, p := range e.pairsOfS[s] {
+		if p.t == t {
+			return p
+		}
+	}
+	return nil
+}
+
 // stateAt returns (creating on demand) the join state at node j.
 func (e *engine) stateAt(j topology.NodeID) *window.State {
-	st, ok := e.states[j]
-	if !ok {
+	st := e.states[j]
+	if st == nil {
 		st = window.NewState(e.cfg.Spec.W, e.cfg.Spec.DynJoin)
 		e.states[j] = st
 	}
@@ -470,7 +500,7 @@ func (e *engine) groupDecision(group []*pairState, opt costmodel.Params, charge 
 // is set.
 func (e *engine) rebuildTrees(charge bool) {
 	for _, key := range e.order {
-		e.rebuildTree(e.prods[key], charge)
+		e.rebuildTree(e.prodFor(key), charge)
 	}
 }
 
@@ -504,7 +534,7 @@ func (e *engine) rebuildTree(ps *producerState, charge bool) {
 // producer with at least two node-disjoint in-network paths.
 func (e *engine) collapsePaths() {
 	for _, key := range e.order {
-		ps := e.prods[key]
+		ps := e.prodFor(key)
 		var segs []routing.Path
 		var segPairs []*pairState
 		for _, p := range ps.pairs {
@@ -564,7 +594,7 @@ func (e *engine) runCycle(cycle int) {
 	// e.matchCount, first-touch order in e.matchOrder).
 	e.matchOrder = e.matchOrder[:0]
 	for _, key := range e.order {
-		ps := e.prods[key]
+		ps := e.prodFor(key)
 		if !cfg.Net.Alive(key.id) {
 			continue
 		}
@@ -600,7 +630,7 @@ func (e *engine) noteMatches(j topology.NodeID, ms []window.Match) {
 		e.matchCount[j] += len(ms)
 	}
 	for i := range ms {
-		if p, ok := e.byPair[[2]topology.NodeID{ms[i].S, ms[i].T}]; ok && p.est != nil {
+		if p := e.pairFor(ms[i].S, ms[i].T); p != nil && p.est != nil {
 			p.est.ObserveResults(1)
 		}
 	}
@@ -879,8 +909,8 @@ func (e *engine) migratePair(p *pairState, learned costmodel.Params) {
 	}
 	e.res.Migrations++
 	if e.opts.Multicast {
-		e.rebuildTree(e.prods[producerKey{p.s, query.S}], true)
-		e.rebuildTree(e.prods[producerKey{p.t, query.T}], true)
+		e.rebuildTree(e.prodS[p.s], true)
+		e.rebuildTree(e.prodT[p.t], true)
 	}
 }
 
@@ -905,14 +935,14 @@ func (e *engine) syncRegistrations(group []*pairState) {
 		want := p.joinNode()
 		// Drop stale registrations elsewhere.
 		for j, st := range e.states {
-			if j != want {
+			if st != nil && topology.NodeID(j) != want {
 				st.RemovePair(p.s, p.t)
 			}
 		}
 		e.stateAt(want).AddPair(p.s, p.t)
 		if e.opts.Multicast {
-			e.rebuildTree(e.prods[producerKey{p.s, query.S}], false)
-			e.rebuildTree(e.prods[producerKey{p.t, query.T}], false)
+			e.rebuildTree(e.prodS[p.s], false)
+			e.rebuildTree(e.prodT[p.t], false)
 		}
 	}
 }

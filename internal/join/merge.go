@@ -105,11 +105,11 @@ func deliverMergedToBase(cfg *Config, senders []mergedSender) []mergedSender {
 // runBaseCycleMerged is runBaseCycle with opportunistic merging: the cycle
 // collects every admitted tuple, ships them in merged packets, and feeds
 // the base join state in node-ID order.
-func runBaseCycleMerged(cfg *Config, st *window.State, rec *recorder, producers []producerSlot, filter map[producerSlot]bool, cycle int) {
+func runBaseCycleMerged(cfg *Config, st *window.State, rec *recorder, producers []producerSlot, filter *participantFilter, cycle int) {
 	var senders []mergedSender
-	done := map[topology.NodeID]bool{}
+	done := make([]bool, cfg.Topo.N())
 	for _, p := range producers {
-		if filter != nil && !filter[p] {
+		if filter != nil && !filter.has(p) {
 			continue
 		}
 		if bothRoles(cfg.Spec, p.id) {

@@ -40,8 +40,8 @@ func TestExtendIndexesMatchesConstruction(t *testing.T) {
 		for ti := range upfront.Trees {
 			for i := 0; i < topo.N(); i++ {
 				id := topology.NodeID(i)
-				a := upfront.Entry(ti, id).Scalars[spec.Attr]
-				b := extended.Entry(ti, id).Scalars[spec.Attr]
+				a := upfront.Entry(ti, id).ScalarByName(spec.Attr)
+				b := extended.Entry(ti, id).ScalarByName(spec.Attr)
 				if a.SizeBytes() != b.SizeBytes() {
 					t.Fatalf("tree %d node %d attr %s: size %d != %d", ti, id, spec.Attr, a.SizeBytes(), b.SizeBytes())
 				}
@@ -109,7 +109,7 @@ func TestExtendPositionIndex(t *testing.T) {
 	for ti := range upfront.Trees {
 		for i := 0; i < topo.N(); i++ {
 			id := topology.NodeID(i)
-			a, b := upfront.Entry(ti, id).Region, ext.Entry(ti, id).Region
+			a, b := upfront.Entry(ti, id).Region(), ext.Entry(ti, id).Region()
 			if a.SizeBytes() != b.SizeBytes() {
 				t.Fatalf("tree %d node %d: region size %d != %d", ti, id, a.SizeBytes(), b.SizeBytes())
 			}

@@ -99,10 +99,7 @@ func (s *Substrate) UpdateAttribute(net *sim.Network, attr string, assign map[to
 	for _, tree := range s.Trees {
 		for _, id := range ids {
 			up := tree.PathToRoot(id)
-			size := 0
-			for _, sm := range s.tables[0][id].Scalars {
-				size += sm.SizeBytes()
-			}
+			size := s.Entry(0, id).ScalarSizeBytes()
 			for i := 0; i+1 < len(up); i++ {
 				if net != nil {
 					net.Transfer(Path{up[i], up[i+1]}, size, sim.Control, sim.Flow{})

@@ -218,8 +218,8 @@ type keyMatcher struct {
 }
 
 func (m *keyMatcher) MatchNode(id topology.NodeID) bool { return m.vals[id] == m.key }
-func (m *keyMatcher) MayMatchSubtree(e *Entry) bool {
-	return e.Scalars[m.attr].MayContain(m.key)
+func (m *keyMatcher) MayMatchSubtree(e Entry) bool {
+	return e.ScalarByName(m.attr).MayContain(m.key)
 }
 
 func TestSearchFindsAllDespiteSummaryPruning(t *testing.T) {
@@ -309,10 +309,10 @@ func TestEntrySummaryKinds(t *testing.T) {
 		IndexPositions: true,
 	}, nil)
 	root := s.Entry(0, topology.Base)
-	if _, ok := root.Scalars["b"].(*summary.Bloom); !ok {
+	if _, ok := root.ScalarByName("b").(*summary.Bloom); !ok {
 		t.Fatal("b not a bloom")
 	}
-	iv, ok := root.Scalars["i"].(*summary.Interval)
+	iv, ok := root.ScalarByName("i").(*summary.Interval)
 	if !ok {
 		t.Fatal("i not an interval")
 	}
@@ -320,10 +320,10 @@ func TestEntrySummaryKinds(t *testing.T) {
 	if min != 0 || max != int32(topo.N()-1) {
 		t.Fatalf("root interval (%d,%d)", min, max)
 	}
-	if root.Region == nil {
+	if root.Region() == nil {
 		t.Fatal("positions not indexed")
 	}
-	if !root.Region.MayContainWithin(topo.Pos(5), 0.1) {
+	if !root.Region().MayContainWithin(topo.Pos(5), 0.1) {
 		t.Fatal("root region missing node position")
 	}
 }

@@ -7,12 +7,15 @@ import (
 
 // Matcher guides the content-addressed path search. MatchNode decides
 // whether a visited node is a sought target; MayMatchSubtree consults a
-// routing-table entry to decide whether the subtree below it could contain
-// targets (pruning). MayMatchSubtree must never return false for a subtree
-// containing a matching node — summaries guarantee no false negatives.
+// routing-table entry view to decide whether the subtree below it could
+// contain targets (pruning). MayMatchSubtree must never return false for a
+// subtree containing a matching node — summaries guarantee no false
+// negatives. Matchers should resolve attribute columns once at
+// construction (Substrate.ColumnIndex) so the per-edge pruning test is a
+// slice index, not a name lookup.
 type Matcher interface {
 	MatchNode(id topology.NodeID) bool
-	MayMatchSubtree(e *Entry) bool
+	MayMatchSubtree(e Entry) bool
 }
 
 // MatchAll is a Matcher that matches a fixed target set with no pruning —
@@ -24,7 +27,7 @@ type MatchAll struct{ Targets map[topology.NodeID]bool }
 func (m MatchAll) MatchNode(id topology.NodeID) bool { return m.Targets[id] }
 
 // MayMatchSubtree implements Matcher.
-func (m MatchAll) MayMatchSubtree(*Entry) bool { return true }
+func (m MatchAll) MayMatchSubtree(Entry) bool { return true }
 
 // probeKeyBytes is the fixed part of an exploration probe: query id plus
 // the join-key value being sought.

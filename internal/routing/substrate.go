@@ -1,8 +1,6 @@
 package routing
 
 import (
-	"sort"
-
 	"repro/internal/geom"
 	"repro/internal/sim"
 	"repro/internal/summary"
@@ -36,25 +34,74 @@ type IndexSpec struct {
 	Buckets int
 }
 
-// Entry is one routing-table entry: the summaries describing the subtree
-// below a (tree, node) pair. Path search consults it to prune descent.
+// Entry is a lightweight view of one (tree, node) routing-table entry over
+// the substrate's columnar storage. It is passed by value on the path-
+// search hot path, so resolving a summary is three slice indexes — no map
+// lookups, no per-entry allocation.
 type Entry struct {
-	// Scalars maps attribute name to that attribute's subtree summary.
-	Scalars map[string]summary.Summary
-	// Region summarizes subtree node positions, when position indexing is
-	// enabled (Query 3's R-tree).
-	Region *summary.Region
+	s  *Substrate
+	ti int
+	id topology.NodeID
+}
+
+// Scalar returns the subtree summary for the attribute column col (as
+// resolved once by Substrate.ColumnIndex). It panics on out-of-range
+// columns, including the -1 ColumnIndex returns for unindexed attributes.
+func (e Entry) Scalar(col int) summary.Summary {
+	return e.s.cols[e.ti][col][e.id]
+}
+
+// ScalarByName returns the subtree summary for attr, or nil when attr is
+// not indexed. Matchers on the search hot path should resolve the column
+// once with ColumnIndex and use Scalar instead.
+func (e Entry) ScalarByName(attr string) summary.Summary {
+	col, ok := e.s.colOf[attr]
+	if !ok {
+		return nil
+	}
+	return e.s.cols[e.ti][col][e.id]
+}
+
+// Region returns the subtree position summary (Query 3's R-tree), or nil
+// when positions are not indexed.
+func (e Entry) Region() *summary.Region {
+	if !e.s.indexPos {
+		return nil
+	}
+	return e.s.regions[e.ti][e.id]
+}
+
+// ScalarSizeBytes sums the wire sizes of every scalar summary in the entry
+// — the payload a node ships when refreshing its whole table row.
+func (e Entry) ScalarSizeBytes() int {
+	size := 0
+	for _, col := range e.s.cols[e.ti] {
+		size += col[e.id].SizeBytes()
+	}
+	return size
 }
 
 // Substrate is the multi-tree semantic routing substrate of [11]: one or
 // more routing trees over the same nodes, with per-subtree attribute
 // summaries at every node enabling content-addressed path search.
+//
+// Routing tables are stored columnar — cols[tree][attr][node] — rather
+// than as a per-(tree, node) map keyed by attribute name: at thousands of
+// nodes the per-entry maps dominate construction time and memory, and the
+// path search's subtree pruning becomes a hash lookup per visited edge.
+// With columns, construction appends n summaries per indexed attribute and
+// pruning indexes a slice.
 type Substrate struct {
 	Topo  *topology.Topology
 	Trees []*Tree
-	// tables[tree][node] is the summary entry for node's subtree in tree.
-	tables [][]Entry
-	specs  []IndexSpec
+	// cols[tree][col][node] is the summary of node's subtree in tree for
+	// the attribute at column col (column order == specs order).
+	cols [][][]summary.Summary
+	// regions[tree][node] is the subtree position summary, when position
+	// indexing is enabled (Query 3's R-tree).
+	regions [][]*summary.Region
+	specs   []IndexSpec
+	colOf   map[string]int // attribute name -> column index
 	// indexPos records whether positions are indexed with R-trees.
 	indexPos bool
 	pos      []geom.Point
@@ -84,6 +131,10 @@ func NewSubstrate(topo *topology.Topology, opts Options, net *sim.Network) *Subs
 		Topo:     topo,
 		specs:    opts.Indexes,
 		indexPos: opts.IndexPositions,
+		colOf:    make(map[string]int, len(opts.Indexes)),
+	}
+	for i, spec := range s.specs {
+		s.colOf[spec.Attr] = i
 	}
 	if opts.IndexPositions {
 		s.pos = make([]geom.Point, topo.N())
@@ -121,55 +172,51 @@ func NewSubstrate(topo *topology.Topology, opts Options, net *sim.Network) *Subs
 	return s
 }
 
-// depthOrder returns the tree's nodes deepest-first, so children are
-// summarized before parents in a single pass.
-func (s *Substrate) depthOrder(tree *Tree) []topology.NodeID {
-	order := make([]topology.NodeID, s.Topo.N())
-	for i := range order {
-		order[i] = topology.NodeID(i)
-	}
-	sort.Slice(order, func(a, b int) bool {
-		da, db := tree.Depth[order[a]], tree.Depth[order[b]]
-		if da != db {
-			return da > db
+// buildColumn computes one attribute's summary column for tree, bottom-up:
+// each node's summary folds its own value and merges its children's
+// (children precede parents in deepest-first order).
+func (s *Substrate) buildColumn(tree *Tree, spec IndexSpec) []summary.Summary {
+	col := make([]summary.Summary, s.Topo.N())
+	for _, id := range tree.DeepFirst() {
+		sm := s.newSummary(spec)
+		sm.AddValue(spec.Values[id])
+		for _, c := range tree.Children[id] {
+			sm.Merge(col[c])
 		}
-		return order[a] < order[b]
-	})
-	return order
+		col[id] = sm
+	}
+	return col
+}
+
+// buildRegions computes the position-summary column for tree, bottom-up.
+func (s *Substrate) buildRegions(tree *Tree) []*summary.Region {
+	col := make([]*summary.Region, s.Topo.N())
+	for _, id := range tree.DeepFirst() {
+		r := summary.NewRegion()
+		r.AddPoint(s.pos[id])
+		for _, c := range tree.Children[id] {
+			r.Merge(col[c])
+		}
+		col[id] = r
+	}
+	return col
 }
 
 // buildTables computes, bottom-up per tree, the subtree summaries for every
 // node, charging the summary bytes shipped from each child to its parent.
 func (s *Substrate) buildTables(net *sim.Network) {
-	s.tables = make([][]Entry, len(s.Trees))
+	s.cols = make([][][]summary.Summary, len(s.Trees))
+	if s.indexPos {
+		s.regions = make([][]*summary.Region, len(s.Trees))
+	}
 	for ti, tree := range s.Trees {
-		tbl := make([]Entry, s.Topo.N())
-		// Process nodes deepest-first so children are summarized before
-		// parents.
-		order := s.depthOrder(tree)
-		for _, id := range order {
-			e := Entry{Scalars: make(map[string]summary.Summary, len(s.specs))}
-			for _, spec := range s.specs {
-				sm := s.newSummary(spec)
-				sm.AddValue(spec.Values[id])
-				e.Scalars[spec.Attr] = sm
-			}
-			if s.indexPos {
-				e.Region = summary.NewRegion()
-				e.Region.AddPoint(s.pos[id])
-			}
-			for _, c := range tree.Children[id] {
-				child := tbl[c]
-				for attr, sm := range e.Scalars {
-					sm.Merge(child.Scalars[attr])
-				}
-				if s.indexPos {
-					e.Region.Merge(child.Region)
-				}
-			}
-			tbl[id] = e
+		s.cols[ti] = make([][]summary.Summary, len(s.specs))
+		for ci, spec := range s.specs {
+			s.cols[ti][ci] = s.buildColumn(tree, spec)
 		}
-		s.tables[ti] = tbl
+		if s.indexPos {
+			s.regions[ti] = s.buildRegions(tree)
+		}
 		if net != nil {
 			// Each non-root node ships its summary entry to its parent
 			// once during construction.
@@ -177,11 +224,11 @@ func (s *Substrate) buildTables(net *sim.Network) {
 				id := topology.NodeID(i)
 				if p := tree.Parent[id]; p >= 0 {
 					size := 0
-					for _, sm := range tbl[id].Scalars {
-						size += sm.SizeBytes()
+					for _, col := range s.cols[ti] {
+						size += col[id].SizeBytes()
 					}
 					if s.indexPos {
-						size += tbl[id].Region.SizeBytes()
+						size += s.regions[ti][id].SizeBytes()
 					}
 					net.Transfer(Path{id, p}, size, sim.Control, sim.Flow{})
 				}
@@ -205,14 +252,20 @@ func (s *Substrate) newSummary(spec IndexSpec) summary.Summary {
 	}
 }
 
+// ColumnIndex returns the column of an indexed attribute, or -1 when attr
+// is not indexed. Matchers resolve their attributes once at construction
+// so subtree pruning during path search is a pure slice index.
+func (s *Substrate) ColumnIndex(attr string) int {
+	if col, ok := s.colOf[attr]; ok {
+		return col
+	}
+	return -1
+}
+
 // HasIndex reports whether attr is already indexed in the routing tables.
 func (s *Substrate) HasIndex(attr string) bool {
-	for _, spec := range s.specs {
-		if spec.Attr == attr {
-			return true
-		}
-	}
-	return false
+	_, ok := s.colOf[attr]
+	return ok
 }
 
 // HasPositionIndex reports whether R-tree region summaries are present.
@@ -226,12 +279,14 @@ func (s *Substrate) HasPositionIndex() bool { return s.indexPos }
 // are skipped entirely: the first query to index an attribute pays its
 // dissemination, later queries share the table for free. This is the
 // multi-query traffic-sharing path used by internal/engine; the routing
-// trees themselves are never rebuilt.
+// trees themselves are never rebuilt. In the columnar layout an extension
+// is a column append per tree — existing columns are untouched.
 func (s *Substrate) ExtendIndexes(specs []IndexSpec, net *sim.Network) {
 	var fresh []IndexSpec
 	for _, spec := range specs {
 		if !s.HasIndex(spec.Attr) {
 			fresh = append(fresh, spec)
+			s.colOf[spec.Attr] = len(s.specs)
 			s.specs = append(s.specs, spec)
 		}
 	}
@@ -239,28 +294,17 @@ func (s *Substrate) ExtendIndexes(specs []IndexSpec, net *sim.Network) {
 		return
 	}
 	for ti, tree := range s.Trees {
-		tbl := s.tables[ti]
-		for _, id := range s.depthOrder(tree) {
-			e := &tbl[id]
-			if e.Scalars == nil {
-				e.Scalars = make(map[string]summary.Summary, len(fresh))
-			}
-			for _, spec := range fresh {
-				sm := s.newSummary(spec)
-				sm.AddValue(spec.Values[id])
-				for _, c := range tree.Children[id] {
-					sm.Merge(tbl[c].Scalars[spec.Attr])
-				}
-				e.Scalars[spec.Attr] = sm
-			}
+		firstNew := len(s.cols[ti])
+		for _, spec := range fresh {
+			s.cols[ti] = append(s.cols[ti], s.buildColumn(tree, spec))
 		}
 		if net != nil {
 			for i := 0; i < s.Topo.N(); i++ {
 				id := topology.NodeID(i)
 				if p := tree.Parent[id]; p >= 0 {
 					size := 0
-					for _, spec := range fresh {
-						size += tbl[id].Scalars[spec.Attr].SizeBytes()
+					for _, col := range s.cols[ti][firstNew:] {
+						size += col[id].SizeBytes()
 					}
 					net.Transfer(Path{id, p}, size, sim.Control, sim.Flow{})
 				}
@@ -281,29 +325,24 @@ func (s *Substrate) ExtendPositionIndex(net *sim.Network) {
 	for i := range s.pos {
 		s.pos[i] = s.Topo.Pos(topology.NodeID(i))
 	}
+	s.regions = make([][]*summary.Region, len(s.Trees))
 	for ti, tree := range s.Trees {
-		tbl := s.tables[ti]
-		for _, id := range s.depthOrder(tree) {
-			r := summary.NewRegion()
-			r.AddPoint(s.pos[id])
-			for _, c := range tree.Children[id] {
-				r.Merge(tbl[c].Region)
-			}
-			tbl[id].Region = r
-		}
+		s.regions[ti] = s.buildRegions(tree)
 		if net != nil {
 			for i := 0; i < s.Topo.N(); i++ {
 				id := topology.NodeID(i)
 				if p := tree.Parent[id]; p >= 0 {
-					net.Transfer(Path{id, p}, tbl[id].Region.SizeBytes(), sim.Control, sim.Flow{})
+					net.Transfer(Path{id, p}, s.regions[ti][id].SizeBytes(), sim.Control, sim.Flow{})
 				}
 			}
 		}
 	}
 }
 
-// Entry returns the routing-table entry for node id in tree ti.
-func (s *Substrate) Entry(ti int, id topology.NodeID) *Entry { return &s.tables[ti][id] }
+// Entry returns the routing-table entry view for node id in tree ti.
+func (s *Substrate) Entry(ti int, id topology.NodeID) Entry {
+	return Entry{s: s, ti: ti, id: id}
+}
 
 // Pos returns node positions when position indexing is on (nil otherwise).
 func (s *Substrate) Pos(id topology.NodeID) geom.Point {

@@ -84,6 +84,11 @@ type Tree struct {
 	// shared by every PathToRoot call (hot path: every tuple routed to the
 	// base walks one).
 	rootPaths []Path
+	// deepFirst is the cached deepest-first node order (depth descending,
+	// node ID ascending within a depth): the order every bottom-up summary
+	// pass over the tree walks. Computed once per tree by counting sort
+	// instead of re-sorting on every routing-table (re)build.
+	deepFirst []topology.NodeID
 }
 
 // BuildTree constructs a routing tree rooted at root. When net is non-nil,
@@ -123,8 +128,34 @@ func BuildTree(topo *topology.Topology, root topology.NodeID, net *sim.Network) 
 		}
 		t.rootPaths[i] = p
 	}
+	// Counting sort by depth: appending node IDs in ascending order keeps
+	// each depth bucket ascending, and concatenating buckets deepest-first
+	// yields exactly the (depth desc, id asc) order a comparison sort
+	// produces.
+	maxDepth := 0
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	// Bucket index d+1 holds depth d; unreachable nodes (depth -1) land in
+	// bucket 0, emitted last, matching a (depth desc, id asc) sort exactly.
+	buckets := make([][]topology.NodeID, maxDepth+2)
+	for i := 0; i < n; i++ {
+		buckets[depth[i]+1] = append(buckets[depth[i]+1], topology.NodeID(i))
+	}
+	t.deepFirst = make([]topology.NodeID, 0, n)
+	for b := maxDepth + 1; b >= 0; b-- {
+		t.deepFirst = append(t.deepFirst, buckets[b]...)
+	}
 	return t
 }
+
+// DeepFirst returns the tree's nodes deepest-first (ties broken to the
+// lowest node ID), the order bottom-up summary passes use so children are
+// processed before parents. The slice is owned by the tree; treat it as
+// read-only.
+func (t *Tree) DeepFirst() []topology.NodeID { return t.deepFirst }
 
 // PathToRoot returns the parent-chain path from id to the root. The
 // returned path is a shared, cached slice: callers must treat it as

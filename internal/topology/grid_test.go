@@ -1,0 +1,188 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// gridSizes are the deployment sizes the grid-vs-naive property tests
+// cover: the Intel count, the paper's standard 100, and a scale point.
+var gridSizes = []int{54, 100, 500}
+
+// sameAdjacency fails the test unless a and b have byte-identical
+// positions, radio ranges and neighbor lists (same order, same contents).
+func sameAdjacency(t *testing.T, label string, a, b *Topology) {
+	t.Helper()
+	if a.N() != b.N() || a.RadioRange() != b.RadioRange() {
+		t.Fatalf("%s: shape differs: n %d/%d radio %v/%v", label, a.N(), b.N(), a.RadioRange(), b.RadioRange())
+	}
+	for i := 0; i < a.N(); i++ {
+		id := NodeID(i)
+		if a.Pos(id) != b.Pos(id) {
+			t.Fatalf("%s: node %d position differs: %v vs %v", label, i, a.Pos(id), b.Pos(id))
+		}
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			t.Fatalf("%s: node %d degree differs: %d vs %d (%v vs %v)", label, i, len(na), len(nb), na, nb)
+		}
+		for k := range na {
+			if na[k] != nb[k] {
+				t.Fatalf("%s: node %d neighbor %d differs: %v vs %v", label, i, k, na, nb)
+			}
+		}
+	}
+}
+
+// TestGridDiscoveryMatchesNaive: the spatial-grid disk-graph discovery
+// must produce byte-identical adjacency (same neighbors in the same
+// ascending order) to the retained O(n^2) reference, for every generated
+// deployment class and size.
+func TestGridDiscoveryMatchesNaive(t *testing.T) {
+	for _, kind := range Kinds {
+		for _, n := range gridSizes {
+			topo := Generate(kind, n, 1)
+			ref := naiveFromPositions(kind, topo.pos, topo.RadioRange())
+			sameAdjacency(t, kind.String()+"/generated", topo, ref)
+		}
+	}
+	// The Intel layout exercises fixed, non-uniform positions.
+	intel := Generate(Intel, 0, 1)
+	sameAdjacency(t, "intel", intel, naiveFromPositions(Intel, intel.pos, intel.RadioRange()))
+}
+
+// TestGridDiscoveryMatchesNaiveAtArbitraryRadii sweeps radio ranges over a
+// fixed random point cloud, including degenerate extremes (no edges,
+// complete graph), where cell sizing takes its clamped branches.
+func TestGridDiscoveryMatchesNaiveAtArbitraryRadii(t *testing.T) {
+	src := rng.New(7).Split(99)
+	for _, n := range gridSizes {
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: src.Float64() * Field, Y: src.Float64() * Field}
+		}
+		for _, radio := range []float64{0.01, 1, 5, 17.3, 64, Field, 2 * Field} {
+			got := fromPositions(ModerateRandom, pos, radio)
+			want := naiveFromPositions(ModerateRandom, pos, radio)
+			sameAdjacency(t, "radii", got, want)
+		}
+	}
+}
+
+// naiveGenerate replicates the pre-grid generator verbatim: naive O(n^2)
+// discovery materialized at every probe of the degree-calibration binary
+// search. Generate must reproduce its output exactly — same final
+// positions (hence the same placement-attempt index and the same number of
+// rng draws consumed), same calibrated radio range, same adjacency.
+func naiveGenerate(kind Kind, n int, seed uint64) *Topology {
+	src := rng.New(seed).Split(uint64(kind))
+	target := kind.targetDegree()
+	r := Field * math.Sqrt(target/(float64(n-1)*math.Pi))
+	for attempt := 0; ; attempt++ {
+		layout := src.Split(uint64(attempt))
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			pos[i] = geom.Point{X: layout.Float64() * Field, Y: layout.Float64() * Field}
+		}
+		lo, hi := r/4, r*4
+		var topo *Topology
+		for iter := 0; iter < 40; iter++ {
+			mid := (lo + hi) / 2
+			topo = naiveFromPositions(kind, pos, mid)
+			d := topo.AvgDegree()
+			switch {
+			case d < target-0.25:
+				lo = mid
+			case d > target+0.25:
+				hi = mid
+			default:
+				iter = 40
+			}
+		}
+		if topo.Connected() {
+			return topo
+		}
+	}
+}
+
+// TestGenerateMatchesNaiveGenerator holds the whole construction path —
+// placement retries, edge-count probes, final materialization — equal to
+// the retained naive generator across random classes, sizes and seeds.
+func TestGenerateMatchesNaiveGenerator(t *testing.T) {
+	for _, kind := range []Kind{SparseRandom, ModerateRandom, MediumRandom, DenseRandom} {
+		for _, n := range gridSizes {
+			for seed := uint64(1); seed <= 3; seed++ {
+				got := Generate(kind, n, seed)
+				want := naiveGenerate(kind, n, seed)
+				sameAdjacency(t, kind.String(), got, want)
+			}
+		}
+	}
+}
+
+// TestHopsFromMatchesBFS: the reusable depth vector and the memoized
+// parent cache must agree with the allocating BFS for every source.
+func TestHopsFromMatchesBFS(t *testing.T) {
+	topo := Generate(ModerateRandom, 100, 1)
+	var buf []int
+	cache := NewParentCache(topo)
+	for s := 0; s < topo.N(); s++ {
+		src := NodeID(s)
+		want, wantParent := topo.BFS(src)
+		buf = topo.HopsFrom(src, buf)
+		parent := cache.Parents(src)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("source %d node %d: HopsFrom %d BFS %d", s, i, buf[i], want[i])
+			}
+			if parent[i] != wantParent[i] {
+				t.Fatalf("source %d node %d: cached parent %d BFS parent %d", s, i, parent[i], wantParent[i])
+			}
+		}
+	}
+}
+
+// BenchmarkFromPositionsGrid2k / BenchmarkFromPositionsNaive2k expose the
+// construction speedup (ISSUE 3 acceptance: grid >= 10x naive at 2000
+// nodes). Run with: go test ./internal/topology -bench FromPositions
+func benchmarkPositions(n int) []geom.Point {
+	src := rng.New(2).Split(0)
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: src.Float64() * Field, Y: src.Float64() * Field}
+	}
+	return pos
+}
+
+func BenchmarkFromPositionsGrid2k(b *testing.B) {
+	pos := benchmarkPositions(2000)
+	for i := 0; i < b.N; i++ {
+		fromPositions(ModerateRandom, pos, 8.65)
+	}
+}
+
+func BenchmarkFromPositionsNaive2k(b *testing.B) {
+	pos := benchmarkPositions(2000)
+	for i := 0; i < b.N; i++ {
+		naiveFromPositions(ModerateRandom, pos, 8.65)
+	}
+}
+
+func BenchmarkGenerate2k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(ModerateRandom, 2000, 1)
+	}
+}
+
+func BenchmarkGenerateNaive2k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		naiveGenerate2k()
+	}
+}
+
+// naiveGenerate2k is the benchmark body for the naive reference generator
+// at 2000 nodes (kept out of the loop literal so both benchmarks read the
+// same shape).
+func naiveGenerate2k() *Topology { return naiveGenerate(ModerateRandom, 2000, 1) }

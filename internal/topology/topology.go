@@ -15,6 +15,7 @@ package topology
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/rng"
@@ -140,7 +141,9 @@ func (t *Topology) AvgDegree() float64 {
 // BFS returns, for every node, its hop distance from src (-1 if
 // unreachable) and the parent on one shortest path (-1 for src and
 // unreachable nodes). Ties are broken toward the lowest parent ID so the
-// result is deterministic.
+// result is deterministic. Loops issuing many traversals should reuse
+// buffers via HopsFrom (depth only) or memoize parent vectors per
+// destination via a ParentCache.
 func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
 	n := t.N()
 	depth = make([]int, n)
@@ -150,10 +153,10 @@ func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
 		parent[i] = -1
 	}
 	depth[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue := make([]NodeID, 1, n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range t.neighbors[u] {
 			if depth[v] == -1 {
 				depth[v] = depth[u] + 1
@@ -165,8 +168,74 @@ func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
 	return depth, parent
 }
 
+// ParentCache memoizes one BFS parent vector per destination over an
+// immutable topology, so a loop routing many queries toward the same
+// destinations costs one traversal per distinct destination instead of
+// one per query. Vectors are identical to a fresh BFS (same lowest-parent
+// tie-breaking). Safe for concurrent use: experiment sweeps share router
+// state across worker goroutines.
+type ParentCache struct {
+	topo    *Topology
+	mu      sync.RWMutex
+	parents [][]NodeID
+}
+
+// NewParentCache returns an empty cache over topo.
+func NewParentCache(topo *Topology) *ParentCache {
+	return &ParentCache{topo: topo, parents: make([][]NodeID, topo.N())}
+}
+
+// Parents returns the BFS parent vector toward dst (each entry is the
+// neighbor one hop closer to dst, -1 at dst and at unreachable nodes).
+// The returned slice is shared and must be treated as read-only.
+func (c *ParentCache) Parents(dst NodeID) []NodeID {
+	c.mu.RLock()
+	p := c.parents[dst]
+	c.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p = c.parents[dst]; p == nil {
+		_, p = c.topo.BFS(dst)
+		c.parents[dst] = p
+	}
+	return p
+}
+
+// HopsFrom returns the hop distance from src to every node (-1 when
+// unreachable), reusing buf when it has sufficient capacity. One HopsFrom
+// vector answers n Hops queries from the same source, so all-pairs loops
+// cost n traversals instead of n^2.
+func (t *Topology) HopsFrom(src NodeID, buf []int) []int {
+	n := t.N()
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	depth := buf[:n]
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := make([]NodeID, 1, n)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range t.neighbors[u] {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth
+}
+
 // Hops returns the shortest-path hop count between a and b, or -1 when
-// disconnected. Generated topologies are always connected.
+// disconnected. Generated topologies are always connected. Each call runs
+// one BFS; callers looping over many destinations from one source should
+// use HopsFrom.
 func (t *Topology) Hops(a, b NodeID) int {
 	depth, _ := t.BFS(a)
 	return depth[b]
@@ -174,7 +243,7 @@ func (t *Topology) Hops(a, b NodeID) int {
 
 // Connected reports whether every node can reach node 0.
 func (t *Topology) Connected() bool {
-	depth, _ := t.BFS(Base)
+	depth := t.HopsFrom(Base, nil)
 	for _, d := range depth {
 		if d < 0 {
 			return false
@@ -203,13 +272,24 @@ func Generate(kind Kind, n int, seed uint64) *Topology {
 
 // randomTopology places n nodes uniformly in the field and picks a radio
 // range that yields the class's target average degree, retrying until the
-// disk graph is connected.
+// disk graph is connected. Per placement attempt the spatial grid is
+// scanned once, at the first (largest) probe radius, collecting every
+// candidate pair's squared distance; subsequent probes of the degree-
+// calibration binary search and the final adjacency materialization are
+// answered from that pair list with plain comparisons. A probe beyond the
+// collected radius (possible when the search ascends) re-collects at the
+// larger radius. Every probe counts exactly the pairs a materialization at
+// that radius would link (same <= r^2 test), so the search trajectory —
+// and therefore the final radio range, retry sequence and rng draw count —
+// is identical to probing with fully materialized topologies.
 func randomTopology(kind Kind, n int, src *rng.Source) *Topology {
 	target := kind.targetDegree()
 	// For n uniform points in an L x L square, the expected degree at radio
 	// range r is ~ (n-1) * pi r^2 / L^2; solve for r as a starting guess,
 	// then adjust until the measured average degree brackets the target.
 	r := Field * math.Sqrt(target/(float64(n-1)*math.Pi))
+	var depth []int
+	var pairs pairList
 	for attempt := 0; ; attempt++ {
 		layout := src.Split(uint64(attempt))
 		pos := make([]geom.Point, n)
@@ -218,12 +298,20 @@ func randomTopology(kind Kind, n int, src *rng.Source) *Topology {
 		}
 		// Binary-search the radio range for this placement to hit the
 		// target degree within 0.5.
+		grid := newCellGrid(pos, r)
 		lo, hi := r/4, r*4
-		var topo *Topology
+		radio, collected := 0.0, -1.0
 		for iter := 0; iter < 40; iter++ {
 			mid := (lo + hi) / 2
-			topo = fromPositions(kind, pos, mid)
-			d := topo.AvgDegree()
+			radio = mid
+			var d float64
+			if mid <= collected {
+				d = pairs.avgDegreeAt(mid, n)
+			} else {
+				collected = mid
+				grid.collectPairs(pos, mid, &pairs)
+				d = float64(2*len(pairs.d2)) / float64(n)
+			}
 			switch {
 			case d < target-0.25:
 				lo = mid
@@ -233,12 +321,111 @@ func randomTopology(kind Kind, n int, src *rng.Source) *Topology {
 				iter = 40
 			}
 		}
-		if topo.Connected() {
+		// radio <= collected always holds here (any probed mid either fit
+		// the collected radius or re-collected at itself), so the final
+		// adjacency comes straight from the pair list.
+		topo := fromPairs(kind, pos, radio, &pairs)
+		depth = topo.HopsFrom(Base, depth)
+		connected := true
+		for _, d := range depth {
+			if d < 0 {
+				connected = false
+				break
+			}
+		}
+		if connected {
 			return topo
 		}
 		// Disconnected placement (possible at sparse densities): retry
 		// with fresh positions.
 	}
+}
+
+// pairList is the per-attempt candidate-pair store: all pairs (i < j)
+// within the collected radius, with their squared distances. Buffers are
+// reused across placement attempts.
+type pairList struct {
+	i, j []int32
+	d2   []float64
+}
+
+// collectPairs fills pairs with every pair within radio of each other,
+// scanning g once.
+func (g *cellGrid) collectPairs(pos []geom.Point, radio float64, pairs *pairList) {
+	pairs.i, pairs.j, pairs.d2 = pairs.i[:0], pairs.j[:0], pairs.d2[:0]
+	r2 := radio * radio
+	for i := range pos {
+		ii := int32(i)
+		p := pos[i]
+		x0, x1, y0, y1 := g.window(p, radio)
+		for y := y0; y <= y1; y++ {
+			row := y * g.cols
+			lo, hi := g.start[row+x0], g.start[row+x1+1]
+			ids := g.items[lo:hi]
+			xs, ys := g.px[lo:hi], g.py[lo:hi]
+			for k := range ids {
+				dx, dy := xs[k]-p.X, ys[k]-p.Y
+				if d2 := dx*dx + dy*dy; d2 <= r2 && ids[k] > ii {
+					pairs.i = append(pairs.i, ii)
+					pairs.j = append(pairs.j, ids[k])
+					pairs.d2 = append(pairs.d2, d2)
+				}
+			}
+		}
+	}
+}
+
+// avgDegreeAt counts the average degree at a radius within the collected
+// range: one sequential pass over the squared distances.
+func (pl *pairList) avgDegreeAt(radio float64, n int) float64 {
+	r2 := radio * radio
+	edges := 0
+	for _, d2 := range pl.d2 {
+		if d2 <= r2 {
+			edges++
+		}
+	}
+	return float64(2*edges) / float64(n)
+}
+
+// fromPairs materializes the disk graph at radio (which must be within the
+// list's collected radius) from the candidate-pair list: counting pass,
+// one flat backing array, ascending neighbor lists — byte-identical to
+// naiveFromPositions at the same radius.
+func fromPairs(kind Kind, pos []geom.Point, radio float64, pairs *pairList) *Topology {
+	n := len(pos)
+	t := &Topology{kind: kind, pos: pos, radio: radio, neighbors: make([][]NodeID, n)}
+	r2 := radio * radio
+	deg := make([]int32, n+1)
+	total := 0
+	for k, d2 := range pairs.d2 {
+		if d2 <= r2 {
+			deg[pairs.i[k]]++
+			deg[pairs.j[k]]++
+			total += 2
+		}
+	}
+	backing := make([]NodeID, total)
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + deg[i]
+	}
+	cursor := make([]int32, n)
+	for k, d2 := range pairs.d2 {
+		if d2 <= r2 {
+			i, j := pairs.i[k], pairs.j[k]
+			backing[off[i]+cursor[i]] = NodeID(j)
+			cursor[i]++
+			backing[off[j]+cursor[j]] = NodeID(i)
+			cursor[j]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		ns := backing[off[i]:off[i+1]:off[i+1]]
+		sortNodeIDs(ns)
+		t.neighbors[i] = ns
+	}
+	return t
 }
 
 // gridTopology lays out ceil(sqrt(n)) columns on a regular lattice with a
@@ -261,8 +448,122 @@ func gridTopology(n int) *Topology {
 	return fromPositions(Grid, pos, spacing*math.Sqrt2*1.01)
 }
 
-// fromPositions builds the disk graph over fixed positions.
+// cellGrid buckets node indices into square cells so disk-graph queries
+// visit only the few cells within radio range of a point instead of all n
+// nodes. The bucket table is CSR-shaped (one flat item array plus offsets)
+// and holds node indices in ascending order per cell, so one grid build is
+// O(n) with three allocations and a row of adjacent cells is a single
+// contiguous slice. One grid serves every radius probed over the same
+// positions: the per-query reach is derived from the queried radius.
+type cellGrid struct {
+	minX, minY float64
+	cell       float64 // cell side length
+	cols, rows int
+	start      []int32 // CSR offsets: cell c's items are items[start[c]:start[c+1]]
+	items      []int32 // node indices, cell-major, ascending within a cell
+	// px, py mirror items with the bucketed nodes' coordinates, so the
+	// distance test inside a candidate scan streams sequentially instead
+	// of gathering pos[items[k]] at random (the dominant cache-miss cost
+	// at thousands of nodes).
+	px, py []float64
+}
+
+// newCellGrid builds the bucket index for pos with cells of side cell,
+// clamped so the bucket table stays O(n) even when the radio range is tiny
+// relative to the spatial extent.
+func newCellGrid(pos []geom.Point, cell float64) *cellGrid {
+	minX, minY := pos[0].X, pos[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range pos[1:] {
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	extent := math.Max(maxX-minX, maxY-minY)
+	if extent <= 0 {
+		extent = 1
+	}
+	if limit := float64(2*int(math.Sqrt(float64(len(pos)))) + 1); !(cell > extent/limit) {
+		cell = extent / limit
+	}
+	g := &cellGrid{minX: minX, minY: minY, cell: cell}
+	g.cols = int((maxX-minX)/cell) + 1
+	g.rows = int((maxY-minY)/cell) + 1
+	nCells := g.cols * g.rows
+	g.start = make([]int32, nCells+1)
+	g.items = make([]int32, len(pos))
+	for _, p := range pos {
+		g.start[g.cellOf(p)+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		g.start[c+1] += g.start[c]
+	}
+	cursor := make([]int32, nCells)
+	g.px = make([]float64, len(pos))
+	g.py = make([]float64, len(pos))
+	for i, p := range pos {
+		c := g.cellOf(p)
+		at := g.start[c] + cursor[c]
+		cursor[c]++
+		g.items[at] = int32(i)
+		g.px[at], g.py[at] = p.X, p.Y
+	}
+	return g
+}
+
+func (g *cellGrid) cellOf(p geom.Point) int {
+	return int((p.Y-g.minY)/g.cell)*g.cols + int((p.X-g.minX)/g.cell)
+}
+
+// window returns the cell-coordinate rectangle covering the disk of the
+// given radius around p, clamped to the grid. Computed once per queried
+// node; each covered row is then one contiguous CSR item range.
+func (g *cellGrid) window(p geom.Point, radio float64) (x0, x1, y0, y1 int) {
+	x0 = int((p.X - radio - g.minX) / g.cell)
+	if x0 < 0 {
+		x0 = 0
+	}
+	x1 = int((p.X + radio - g.minX) / g.cell)
+	if x1 >= g.cols {
+		x1 = g.cols - 1
+	}
+	y0 = int((p.Y - radio - g.minY) / g.cell)
+	if y0 < 0 {
+		y0 = 0
+	}
+	y1 = int((p.Y + radio - g.minY) / g.cell)
+	if y1 >= g.rows {
+		y1 = g.rows - 1
+	}
+	return x0, x1, y0, y1
+}
+
+// fromPositions builds the disk graph over fixed positions: one grid
+// scan collects the candidate pairs, fromPairs materializes the adjacency
+// — the same kernel the calibrating generator uses, so there is exactly
+// one implementation of the grid-window distance test to keep
+// byte-identical with the naive reference.
 func fromPositions(kind Kind, pos []geom.Point, radio float64) *Topology {
+	var pairs pairList
+	newCellGrid(pos, radio).collectPairs(pos, radio, &pairs)
+	return fromPairs(kind, pos, radio, &pairs)
+}
+
+// sortNodeIDs is an allocation-free ascending insertion sort; neighbor
+// lists are short (average degree 6-13), where insertion sort beats
+// sort.Slice and its per-call closure allocation.
+func sortNodeIDs(xs []NodeID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// naiveFromPositions is the retained O(n^2) reference implementation of
+// disk-graph discovery. It is not called on any production path; the
+// topology tests assert grid-bucketed discovery matches it byte for byte,
+// and the package benchmarks report the grid path's speedup over it.
+func naiveFromPositions(kind Kind, pos []geom.Point, radio float64) *Topology {
 	n := len(pos)
 	t := &Topology{kind: kind, pos: pos, radio: radio, neighbors: make([][]NodeID, n)}
 	r2 := radio * radio

@@ -97,8 +97,9 @@ func SpecFromSQL(src string, topo *topology.Topology, nodes []NodeInfo, rates Ra
 	}
 	spec.SearchMatcher = func(s topology.NodeID, sub *routing.Substrate) routing.Matcher {
 		key := primary.SourceTerm.Eval(selfBinding(s))
-		return &specMatcher{spec: spec, s: s, mayMatch: func(e *routing.Entry) bool {
-			return e.Scalars[primary.TargetAttr].MayContain(key)
+		col := sub.ColumnIndex(primary.TargetAttr)
+		return &specMatcher{spec: spec, s: s, mayMatch: func(e routing.Entry) bool {
+			return e.Scalar(col).MayContain(key)
 		}}
 	}
 	return spec, nil

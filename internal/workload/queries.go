@@ -157,11 +157,14 @@ func equalityDyn(sv, tv int32) bool { return sv == tv }
 
 // specMatcher adapts a Spec to routing.Matcher for one source node: the
 // subtree test prunes on the primary predicate's summary, the node test
-// applies the full static join predicate plus target eligibility.
+// applies the full static join predicate plus target eligibility. The
+// mayMatch closures resolve their attribute columns once at matcher
+// construction (routing.Substrate.ColumnIndex), so the per-edge pruning
+// test inside FindTargets is a slice index into the columnar tables.
 type specMatcher struct {
 	spec       *Spec
 	s          topology.NodeID
-	mayMatch   func(e *routing.Entry) bool
+	mayMatch   func(e routing.Entry) bool
 	matchesAll bool
 }
 
@@ -169,7 +172,7 @@ func (m *specMatcher) MatchNode(id topology.NodeID) bool {
 	return m.spec.EligibleT(id) && id != m.s && m.spec.PairMatch(m.s, id)
 }
 
-func (m *specMatcher) MayMatchSubtree(e *routing.Entry) bool {
+func (m *specMatcher) MayMatchSubtree(e routing.Entry) bool {
 	if m.matchesAll || m.mayMatch == nil {
 		return true
 	}
@@ -219,8 +222,9 @@ func Query0(topo *topology.Topology, nodes []NodeInfo, nPairs int, rates Rates, 
 	}
 	spec.SearchMatcher = func(s topology.NodeID, sub *routing.Substrate) routing.Matcher {
 		want := partner[s]
-		return &specMatcher{spec: spec, s: s, mayMatch: func(e *routing.Entry) bool {
-			return e.Scalars["id"].MayContain(int32(want))
+		idCol := sub.ColumnIndex("id")
+		return &specMatcher{spec: spec, s: s, mayMatch: func(e routing.Entry) bool {
+			return e.Scalar(idCol).MayContain(int32(want))
 		}}
 	}
 	return spec
@@ -253,11 +257,12 @@ func Query1(topo *topology.Topology, nodes []NodeInfo, rates Rates) *Spec {
 	}
 	spec.SearchMatcher = func(s topology.NodeID, sub *routing.Substrate) routing.Matcher {
 		key := nodes[s].X - 5 // pattern matcher inversion of S.x = T.y+5
-		return &specMatcher{spec: spec, s: s, mayMatch: func(e *routing.Entry) bool {
+		yCol, idCol := sub.ColumnIndex("y"), sub.ColumnIndex("id")
+		return &specMatcher{spec: spec, s: s, mayMatch: func(e routing.Entry) bool {
 			// Prune by the join key AND by the target selection
 			// (T.id > 50): a subtree with no eligible targets is skipped.
-			iv := e.Scalars["id"].(*summary.Interval)
-			return e.Scalars["y"].MayContain(key) && iv.Overlaps(51, 1<<15)
+			iv := e.Scalar(idCol).(*summary.Interval)
+			return e.Scalar(yCol).MayContain(key) && iv.Overlaps(51, 1<<15)
 		}}
 	}
 	return spec
@@ -298,9 +303,10 @@ func Query2(topo *topology.Topology, nodes []NodeInfo, rates Rates) *Spec {
 	}
 	spec.SearchMatcher = func(s topology.NodeID, sub *routing.Substrate) routing.Matcher {
 		key := nodes[s].Cid
-		return &specMatcher{spec: spec, s: s, mayMatch: func(e *routing.Entry) bool {
+		cidCol, ridCol := sub.ColumnIndex("cid"), sub.ColumnIndex("rid")
+		return &specMatcher{spec: spec, s: s, mayMatch: func(e routing.Entry) bool {
 			// Prune by the join key AND the target selection (T.rid = 3).
-			return e.Scalars["cid"].MayContain(key) && e.Scalars["rid"].MayContain(3)
+			return e.Scalar(cidCol).MayContain(key) && e.Scalar(ridCol).MayContain(3)
 		}}
 	}
 	return spec
@@ -342,8 +348,9 @@ func Query3(topo *topology.Topology, nodes []NodeInfo, rates Rates) *Spec {
 	}
 	spec.SearchMatcher = func(s topology.NodeID, sub *routing.Substrate) routing.Matcher {
 		pos := nodes[s].Pos
-		return &specMatcher{spec: spec, s: s, mayMatch: func(e *routing.Entry) bool {
-			return e.Region != nil && e.Region.MayContainWithin(pos, Query3Radius)
+		return &specMatcher{spec: spec, s: s, mayMatch: func(e routing.Entry) bool {
+			r := e.Region()
+			return r != nil && r.MayContainWithin(pos, Query3Radius)
 		}}
 	}
 	return spec
