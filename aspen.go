@@ -315,6 +315,35 @@ func algorithmFor(name Algorithm, topo *topology.Topology) (join.Continuous, err
 
 // --- Continuous multi-query execution (internal/engine) ---------------------
 
+// ChurnEvent schedules one node failure or revival in an Engine's shared
+// deployment (section 7 as a workload axis). Events apply at the top of
+// their epoch, before any query runs its sampling cycle; a failed node is
+// dead in the shared substrate and in every query's network at once, and
+// each failure triggers engine-wide recovery (path repair, tree rebuilds,
+// base-station fallback).
+type ChurnEvent struct {
+	// Epoch is the scheduler epoch the event applies at.
+	Epoch int
+	// Node is the affected node ID. The base station (node 0) may not
+	// churn.
+	Node int
+	// Revive restores the node instead of failing it.
+	Revive bool
+}
+
+// SeededChurn derives a deterministic churn schedule: each epoch in
+// [0, epochs), every alive non-base node of an n-node deployment fails
+// with probability rate; with reviveAfter > 0 a failed node revives that
+// many epochs later (0 = permanent failures).
+func SeededChurn(seed uint64, nodes, epochs int, rate float64, reviveAfter int) []ChurnEvent {
+	evs := engine.SeededChurn(seed, nodes, epochs, rate, reviveAfter)
+	out := make([]ChurnEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = ChurnEvent{Epoch: ev.Epoch, Node: int(ev.Node), Revive: ev.Revive}
+	}
+	return out
+}
+
 // EngineConfig describes the shared deployment a multi-query Engine
 // schedules over.
 type EngineConfig struct {
@@ -328,6 +357,20 @@ type EngineConfig struct {
 	Seed uint64
 	// LossProb is the per-hop loss probability (default 5%).
 	LossProb *float64
+	// Churn is the deployment's fail/revive schedule (empty = no churn).
+	Churn []ChurnEvent
+}
+
+// DeploymentNodes returns the node count an engine built from this config
+// will deploy — the default of 100, and Intel's fixed 54 motes (for which
+// Nodes is ignored). Seeded churn schedules must be materialized against
+// this count, not the raw Nodes field.
+func (c EngineConfig) DeploymentNodes() (int, error) {
+	kind, err := c.Topology.kind()
+	if err != nil {
+		return 0, err
+	}
+	return engine.EffectiveNodes(kind, c.Nodes), nil
 }
 
 // QueryJob describes one continuous query submitted to an Engine: either
@@ -387,6 +430,15 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.LossProb != nil {
 		opts.LossProb = *cfg.LossProb
 		opts.Lossless = *cfg.LossProb == 0
+	}
+	nodes := engine.EffectiveNodes(kind, cfg.Nodes)
+	for _, ev := range cfg.Churn {
+		if ev.Node <= 0 || ev.Node >= nodes {
+			return nil, fmt.Errorf("aspen: churn event names node %d outside the deployment (1..%d; the base station never churns)", ev.Node, nodes-1)
+		}
+		opts.Churn = append(opts.Churn, engine.ChurnEvent{
+			Epoch: ev.Epoch, Node: topology.NodeID(ev.Node), Revive: ev.Revive,
+		})
 	}
 	return &Engine{eng: engine.New(opts), seed: seed}, nil
 }
@@ -448,6 +500,11 @@ type EpochStats struct {
 	// NewResults maps query ID to join results delivered this epoch
 	// (queries with no new results are absent).
 	NewResults map[string]int
+	// Failed lists node IDs the churn schedule failed this epoch;
+	// Repaired / Fallbacks count paths rerouted in-network vs pairs
+	// switched to the base station by the recovery pass.
+	Failed              []int
+	Repaired, Fallbacks int
 }
 
 // OnEpoch registers a hook streamed after every scheduler epoch (nil
@@ -458,13 +515,19 @@ func (e *Engine) OnEpoch(fn func(EpochStats)) {
 		return
 	}
 	e.eng.OnEpoch = func(s engine.EpochStats) {
-		fn(EpochStats{
+		out := EpochStats{
 			Epoch:      s.Epoch,
 			Live:       s.Live,
 			Admitted:   s.Admitted,
 			Retired:    s.Retired,
 			NewResults: s.NewResults,
-		})
+			Repaired:   s.Repaired,
+			Fallbacks:  s.Fallbacks,
+		}
+		for _, id := range s.Failed {
+			out.Failed = append(out.Failed, int(id))
+		}
+		fn(out)
 	}
 }
 
@@ -515,7 +578,11 @@ type EngineReport struct {
 	AggregateBytes        int64
 	AggregateBytesPerNode float64
 	Results               int
-	Queries               []QueryEngineReport
+	// FailedNodes counts nodes the churn schedule failed over the run;
+	// PathsRepaired / BaseFallbacks are the section 7 recovery outcomes
+	// and TreesRebuilt the substrate's tree-rebuild fallbacks.
+	FailedNodes, PathsRepaired, BaseFallbacks, TreesRebuilt int
+	Queries                                                 []QueryEngineReport
 }
 
 func engineReport(r *engine.Report) *EngineReport {
@@ -527,6 +594,10 @@ func engineReport(r *engine.Report) *EngineReport {
 		AggregateBytes:        r.AggregateBytes,
 		AggregateBytesPerNode: r.AggregateBytesPerNode,
 		Results:               r.Results,
+		FailedNodes:           r.FailedNodes,
+		PathsRepaired:         r.PathsRepaired,
+		BaseFallbacks:         r.BaseFallbacks,
+		TreesRebuilt:          r.TreesRebuilt,
 	}
 	for _, q := range r.Queries {
 		out.Queries = append(out.Queries, QueryEngineReport{

@@ -276,3 +276,40 @@ func TestMergeFlag(t *testing.T) {
 		t.Fatalf("merge did not reduce traffic: %d vs %d", merged.TotalBytes, plain.TotalBytes)
 	}
 }
+
+// TestEngineChurnFacade drives the churn schedule through the public API:
+// the failure counters surface in the report, the per-epoch stream sees
+// the failure, and a base-station event is rejected up front.
+func TestEngineChurnFacade(t *testing.T) {
+	e, err := NewEngine(EngineConfig{Seed: 1, Churn: []ChurnEvent{{Epoch: 2, Node: 21}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(QueryJob{Query: Query2}); err != nil {
+		t.Fatal(err)
+	}
+	var failed []int
+	e.OnEpoch(func(s EpochStats) { failed = append(failed, s.Failed...) })
+	rep, err := e.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedNodes != 1 || len(failed) != 1 || failed[0] != 21 {
+		t.Fatalf("failure not surfaced: report=%d stream=%v", rep.FailedNodes, failed)
+	}
+	if rep.PathsRepaired+rep.BaseFallbacks+rep.TreesRebuilt == 0 {
+		t.Fatal("recovery counters all zero after a churn failure")
+	}
+	if rep.Results == 0 {
+		t.Fatal("no results delivered under churn")
+	}
+	if _, err := NewEngine(EngineConfig{Churn: []ChurnEvent{{Epoch: 0, Node: 0}}}); err == nil {
+		t.Fatal("base-station churn accepted")
+	}
+	if _, err := NewEngine(EngineConfig{Nodes: 50, Churn: []ChurnEvent{{Epoch: 0, Node: 50}}}); err == nil {
+		t.Fatal("out-of-range churn node accepted")
+	}
+	if len(SeededChurn(3, 100, 30, 0.02, 5)) == 0 {
+		t.Fatal("facade SeededChurn produced no events")
+	}
+}

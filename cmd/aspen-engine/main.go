@@ -23,6 +23,15 @@
 //	-- admit: <epoch>         admission epoch (default 0)
 //	-- sigma-s / sigma-t / sigma-st: <float>   workload rates
 //
+// Churn directives describe the DEPLOYMENT, not one query: they may appear
+// in any block (including a block of nothing but directives) and are
+// collected into one engine-wide schedule:
+//
+//	-- fail: <node> @ <epoch>      fail a node at an epoch
+//	-- revive: <node> @ <epoch>    revive it again later
+//	-- churn: <rate> @ <seed>      seeded random churn (per-epoch fail
+//	                               probability; failures permanent)
+//
 // Example block (one directive per line):
 //
 //	-- id: left-half
@@ -118,6 +127,14 @@ starting with "--" are directives; the rest is one StreamSQL statement
   -- sigma-s: <f>          producer send probability for S (likewise
                            sigma-t, sigma-st)
 
+deployment churn directives (allowed in any block, or a block of their
+own; collected into one engine-wide schedule):
+
+  -- fail: <node> @ <epoch>     fail a node at an epoch
+  -- revive: <node> @ <epoch>   revive it again later
+  -- churn: <rate> @ <seed>     seeded random churn (per-epoch fail
+                                probability; @ <seed> optional)
+
 example block:
 
   -- id: left-right
@@ -140,7 +157,7 @@ With no -f, a built-in 4-query demo workload runs.
 		}
 		src = string(data)
 	}
-	jobs, err := parseWorkload(src)
+	jobs, churn, err := parseWorkload(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -154,6 +171,13 @@ With no -f, a built-in 4-query demo workload runs.
 		Trees:    *trees,
 		Seed:     *seed,
 	}
+	// Seeded churn materializes against the EFFECTIVE deployment size
+	// (Intel pins 54 motes regardless of -nodes).
+	deployNodes, err := cfg.DeploymentNodes()
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Churn = churn.schedule(deployNodes, *epochs)
 	rep, err := runAll(cfg, jobs, *epochs, *verbose)
 	if err != nil {
 		fatal(err)
@@ -172,11 +196,15 @@ With no -f, a built-in 4-query demo workload runs.
 			q.ID, q.Algorithm, q.State, live,
 			float64(q.TotalBytes)/1024, q.BytesPerNode/1024, q.Results, q.MeanDelay)
 	}
-	fmt.Printf("\nshared infrastructure  %8.1f KB   (routing trees + index dissemination, charged once)\n",
+	fmt.Printf("\nshared infrastructure  %8.1f KB   (routing trees + index dissemination + repair, charged once)\n",
 		float64(rep.SharedBytes)/1024)
 	fmt.Printf("per-query traffic      %8.1f KB\n", float64(rep.QueryBytes)/1024)
 	fmt.Printf("aggregate              %8.1f KB   (%.3f KB/node, %d results)\n",
 		float64(rep.AggregateBytes)/1024, rep.AggregateBytesPerNode/1024, rep.Results)
+	if rep.FailedNodes > 0 {
+		fmt.Printf("node churn             %d failed, %d paths repaired in-network, %d base fallbacks, %d trees rebuilt\n",
+			rep.FailedNodes, rep.PathsRepaired, rep.BaseFallbacks, rep.TreesRebuilt)
+	}
 
 	if *baseline {
 		var sum int64
@@ -210,6 +238,13 @@ func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, verbose b
 		e.OnEpoch(func(s aspen.EpochStats) {
 			for _, id := range s.Admitted {
 				fmt.Printf("epoch %4d  + %s admitted (%d live)\n", s.Epoch, id, s.Live)
+			}
+			for _, id := range s.Failed {
+				fmt.Printf("epoch %4d  ! node %d failed\n", s.Epoch, id)
+			}
+			if s.Repaired > 0 || s.Fallbacks > 0 {
+				fmt.Printf("epoch %4d    recovery: %d path(s) repaired, %d base fallback(s)\n",
+					s.Epoch, s.Repaired, s.Fallbacks)
 			}
 			ids := make([]string, 0, len(s.NewResults))
 			for id := range s.NewResults {
@@ -249,22 +284,50 @@ func splitBlocks(src string) []string {
 	return blocks
 }
 
+// churnSpec collects the deployment-level churn directives of a workload
+// file: explicit fail/revive events plus seeded random-churn requests,
+// which need the run's node count and horizon to materialize.
+type churnSpec struct {
+	events []aspen.ChurnEvent
+	seeded []seededChurn
+}
+
+type seededChurn struct {
+	rate float64
+	seed uint64
+}
+
+// schedule materializes the full churn schedule for a deployment of
+// `nodes` nodes run for `epochs` epochs.
+func (c churnSpec) schedule(nodes, epochs int) []aspen.ChurnEvent {
+	out := append([]aspen.ChurnEvent(nil), c.events...)
+	for _, s := range c.seeded {
+		out = append(out, aspen.SeededChurn(s.seed, nodes, epochs, s.rate, 0)...)
+	}
+	return out
+}
+
 // parseWorkload splits src into blank-line-separated blocks and parses
-// each into a QueryJob.
-func parseWorkload(src string) ([]aspen.QueryJob, error) {
+// each into a QueryJob, collecting deployment-level churn directives
+// (which may form blocks of their own) into the returned churnSpec.
+func parseWorkload(src string) ([]aspen.QueryJob, churnSpec, error) {
 	var jobs []aspen.QueryJob
+	var churn churnSpec
 	for bi, block := range splitBlocks(src) {
 		var job aspen.QueryJob
 		var sqlLines []string
+		churnDirectives := 0
 		for _, line := range strings.Split(block, "\n") {
 			trimmed := strings.TrimSpace(line)
 			if strings.HasPrefix(trimmed, "#") {
 				continue
 			}
 			if strings.HasPrefix(trimmed, "--") {
-				if err := applyDirective(&job, strings.TrimSpace(strings.TrimPrefix(trimmed, "--"))); err != nil {
-					return nil, fmt.Errorf("block %d: %w", bi+1, err)
+				n, err := applyDirective(&job, &churn, strings.TrimSpace(strings.TrimPrefix(trimmed, "--")))
+				if err != nil {
+					return nil, churnSpec{}, fmt.Errorf("block %d: %w", bi+1, err)
 				}
+				churnDirectives += n
 				continue
 			}
 			if trimmed != "" {
@@ -273,26 +336,76 @@ func parseWorkload(src string) ([]aspen.QueryJob, error) {
 		}
 		sql := strings.TrimSuffix(strings.Join(sqlLines, "\n"), ";")
 		if sql != "" && job.Query != "" {
-			return nil, fmt.Errorf("block %d: has both SQL text and a 'query:' directive", bi+1)
+			return nil, churnSpec{}, fmt.Errorf("block %d: has both SQL text and a 'query:' directive", bi+1)
 		}
 		job.SQL = sql
 		if job.SQL == "" && job.Query == "" {
-			return nil, fmt.Errorf("block %d: no SQL statement and no 'query:' directive", bi+1)
+			if churnDirectives > 0 && job == (aspen.QueryJob{}) {
+				continue // a pure churn block describes the deployment, not a query
+			}
+			return nil, churnSpec{}, fmt.Errorf("block %d: no SQL statement and no 'query:' directive", bi+1)
 		}
 		jobs = append(jobs, job)
 	}
-	return jobs, nil
+	return jobs, churn, nil
 }
 
-// applyDirective parses one "key: value" directive into job.
-func applyDirective(job *aspen.QueryJob, d string) error {
+// parseNodeAtEpoch parses "<node> @ <epoch>" (spaces optional).
+func parseNodeAtEpoch(value string) (node, epoch int, err error) {
+	left, right, ok := strings.Cut(value, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want \"<node> @ <epoch>\", got %q", value)
+	}
+	if node, err = strconv.Atoi(strings.TrimSpace(left)); err != nil {
+		return 0, 0, fmt.Errorf("node: %w", err)
+	}
+	if epoch, err = strconv.Atoi(strings.TrimSpace(right)); err != nil {
+		return 0, 0, fmt.Errorf("epoch: %w", err)
+	}
+	return node, epoch, nil
+}
+
+// applyDirective parses one "key: value" directive into job or churn,
+// reporting how many churn directives it consumed (0 or 1).
+func applyDirective(job *aspen.QueryJob, churn *churnSpec, d string) (int, error) {
 	key, value, ok := strings.Cut(d, ":")
 	if !ok {
 		// A bare comment, e.g. "-- the fast half"; ignore.
-		return nil
+		return 0, nil
 	}
 	key = strings.TrimSpace(strings.ToLower(key))
 	value = strings.TrimSpace(value)
+	switch key {
+	case "fail", "revive":
+		node, epoch, err := parseNodeAtEpoch(value)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", key, err)
+		}
+		churn.events = append(churn.events, aspen.ChurnEvent{
+			Epoch: epoch, Node: node, Revive: key == "revive",
+		})
+		return 1, nil
+	case "churn":
+		// "<rate> @ <seed>"; seed optional (default 1).
+		rateStr, seedStr, hasSeed := strings.Cut(value, "@")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return 0, fmt.Errorf("churn rate: %w", err)
+		}
+		sc := seededChurn{rate: rate, seed: 1}
+		if hasSeed {
+			if sc.seed, err = strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64); err != nil {
+				return 0, fmt.Errorf("churn seed: %w", err)
+			}
+		}
+		churn.seeded = append(churn.seeded, sc)
+		return 1, nil
+	}
+	return 0, applyQueryDirective(job, key, value)
+}
+
+// applyQueryDirective handles the per-query directives.
+func applyQueryDirective(job *aspen.QueryJob, key, value string) error {
 	switch key {
 	case "id":
 		job.ID = value

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 // TestParseWorkloadDemo parses the built-in demo workload: 4 blocks with
 // the directives the usage text documents.
 func TestParseWorkloadDemo(t *testing.T) {
-	jobs, err := parseWorkload(demoWorkload)
+	jobs, _, err := parseWorkload(demoWorkload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestParseWorkloadDemo(t *testing.T) {
 // TestParseWorkloadEmpty covers empty and whitespace-only files.
 func TestParseWorkloadEmpty(t *testing.T) {
 	for _, src := range []string{"", "\n\n\n", "   \n\t\n"} {
-		jobs, err := parseWorkload(src)
+		jobs, _, err := parseWorkload(src)
 		if err != nil {
 			t.Errorf("empty input %q: unexpected error %v", src, err)
 		}
@@ -68,7 +69,7 @@ func TestParseWorkloadMalformed(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := parseWorkload(tc.src)
+			_, _, err := parseWorkload(tc.src)
 			if err == nil {
 				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
 			}
@@ -83,7 +84,7 @@ func TestParseWorkloadMalformed(t *testing.T) {
 // comments (no colon) are ignored, not errors.
 func TestParseWorkloadComments(t *testing.T) {
 	src := "# a file comment\n-- the fast half\n-- id: q\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n"
-	jobs, err := parseWorkload(src)
+	jobs, _, err := parseWorkload(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestParseWorkloadComments(t *testing.T) {
 // contains stray spaces or tabs still splits blocks.
 func TestParseWorkloadWhitespaceSeparator(t *testing.T) {
 	src := "-- id: a\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n \t \n-- id: b\n-- query: Q1\n"
-	jobs, err := parseWorkload(src)
+	jobs, _, err := parseWorkload(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestParseWorkloadWhitespaceSeparator(t *testing.T) {
 func TestParseWorkloadCRLF(t *testing.T) {
 	unix := "-- id: a\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n\n-- id: b\n-- query: Q1\n"
 	dos := strings.ReplaceAll(unix, "\n", "\r\n")
-	ju, err := parseWorkload(unix)
+	ju, _, err := parseWorkload(unix)
 	if err != nil {
 		t.Fatal(err)
 	}
-	jd, err := parseWorkload(dos)
+	jd, _, err := parseWorkload(dos)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestRunAllAndBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine run in -short mode")
 	}
-	jobs, err := parseWorkload("-- id: left\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n\n-- id: right\n-- query: Q1\n")
+	jobs, _, err := parseWorkload("-- id: left\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n\n-- id: right\n-- query: Q1\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,5 +152,61 @@ func TestRunAllAndBaseline(t *testing.T) {
 	}
 	if shared.AggregateBytes >= sum {
 		t.Errorf("sharing saved nothing: shared=%d unshared-sum=%d", shared.AggregateBytes, sum)
+	}
+}
+
+// TestParseWorkloadChurnDirectives: churn directives are deployment-level,
+// may form pure churn blocks, and materialize against the run's node count
+// and horizon.
+func TestParseWorkloadChurnDirectives(t *testing.T) {
+	src := "-- fail: 17 @ 5\n-- revive: 17 @ 9\n-- churn: 0.01 @ 42\n\n-- id: q\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n"
+	jobs, churn, err := parseWorkload(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "q" {
+		t.Fatalf("churn block leaked into jobs: %+v", jobs)
+	}
+	if len(churn.events) != 2 || churn.events[0] != (aspen.ChurnEvent{Epoch: 5, Node: 17}) ||
+		churn.events[1] != (aspen.ChurnEvent{Epoch: 9, Node: 17, Revive: true}) {
+		t.Fatalf("explicit events wrong: %+v", churn.events)
+	}
+	if len(churn.seeded) != 1 || churn.seeded[0] != (seededChurn{rate: 0.01, seed: 42}) {
+		t.Fatalf("seeded spec wrong: %+v", churn.seeded)
+	}
+	sched := churn.schedule(100, 20)
+	if len(sched) < 2 {
+		t.Fatalf("schedule too short: %d events", len(sched))
+	}
+	if !reflect.DeepEqual(sched, churn.schedule(100, 20)) {
+		t.Fatal("schedule not deterministic")
+	}
+	// A churn directive inside a query block attaches to the deployment,
+	// not the query.
+	_, c2, err := parseWorkload("-- id: q\n-- fail: 3 @ 1\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.events) != 1 {
+		t.Fatalf("in-block churn directive lost: %+v", c2.events)
+	}
+}
+
+// TestParseWorkloadChurnErrors: malformed churn directives are reported,
+// and a block mixing churn with query directives but no SQL still errors.
+func TestParseWorkloadChurnErrors(t *testing.T) {
+	for _, tc := range []struct{ name, src, wantErr string }{
+		{"bad fail", "-- fail: soonish\n", "fail"},
+		{"bad revive epoch", "-- revive: 4 @ later\n", "epoch"},
+		{"bad churn rate", "-- churn: lots\n", "churn rate"},
+		{"bad churn seed", "-- churn: 0.1 @ x\n", "churn seed"},
+		{"churn plus id but no sql", "-- id: broken\n-- fail: 3 @ 1\n", "no SQL statement"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := parseWorkload(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
 }

@@ -140,6 +140,105 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			Name: "churn-1k",
+			Desc: "2 concurrent queries over a shared 1000-node deployment under node churn (seeded schedule + targeted join-node/path failures), 12 epochs",
+			Run: func() (int64, float64) {
+				const nodes = 1000
+				mk := func(churn []engine.ChurnEvent) *engine.Engine {
+					e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: nodes, Churn: churn})
+					for q := 0; q < 2; q++ {
+						if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
+							panic("bench: churn-1k scenario submit: " + err.Error())
+						}
+					}
+					return e
+				}
+				// Probe run: pick one intermediate path hop and one join
+				// node from the placed pairs, so the schedule provably
+				// exercises both recovery outcomes (in-network repair and
+				// base-station fallback). Deterministic: the probe is a
+				// fixed-seed run.
+				probe := mk(nil)
+				probe.Run(6)
+				var mid, joinNode topology.NodeID = -1, -1
+				for _, q := range probe.Queries() {
+					res := q.Result()
+					for i, p := range res.PairPaths {
+						j := res.PairJoinNodes[i]
+						if mid < 0 {
+							for _, id := range p[1 : len(p)-1] {
+								if id != j {
+									mid = id
+									break
+								}
+							}
+						}
+						if mid >= 0 && j != mid {
+							joinNode = j
+						}
+						if mid >= 0 && joinNode >= 0 {
+							break
+						}
+					}
+				}
+				if mid < 0 || joinNode < 0 {
+					panic("bench: churn-1k probe found no victims")
+				}
+				churn := append(engine.SeededChurn(7, nodes, 12, 0.0005, 0),
+					engine.ChurnEvent{Epoch: 3, Node: mid},
+					engine.ChurnEvent{Epoch: 6, Node: joinNode})
+				rep := mk(churn).Run(12)
+				if rep.PathsRepaired < 1 || rep.BaseFallbacks < 1 {
+					panic("bench: churn-1k scenario lost its repair/fallback coverage")
+				}
+				// The checksum folds every recovery counter in, so any
+				// drift in churn handling — not just traffic — shows.
+				check := float64(rep.Results) +
+					1e3*float64(rep.PathsRepaired) +
+					1e6*float64(rep.BaseFallbacks) +
+					1e9*float64(rep.FailedNodes) +
+					1e12*float64(rep.TreesRebuilt)
+				return rep.AggregateBytes, check
+			},
+		},
+		{
+			Name: "repair",
+			Desc: "section-7 limited-exploration repair: 100-node grid, every root path through a failed hot interior node repaired via a memoized Repairer",
+			Run: func() (int64, float64) {
+				topo := topology.Generate(topology.Grid, 100, 1)
+				tree := routing.BuildTree(topo, topology.Base, nil)
+				// Victim: the interior node relaying the most root paths.
+				counts := make([]int, topo.N())
+				for i := 1; i < topo.N(); i++ {
+					p := tree.PathToRoot(topology.NodeID(i))
+					for _, id := range p[1 : len(p)-1] {
+						counts[id]++
+					}
+				}
+				victim := topology.NodeID(0)
+				for i := 1; i < topo.N(); i++ {
+					if counts[i] > counts[victim] {
+						victim = topology.NodeID(i)
+					}
+				}
+				net := sim.NewNetwork(topo, 0, 1)
+				net.Fail(victim)
+				rp := routing.NewRepairer(topo, net, routing.DefaultRepairLimit)
+				repaired, hops := 0, 0
+				for i := 1; i < topo.N(); i++ {
+					p := tree.PathToRoot(topology.NodeID(i))
+					if p[0] == victim || !p.Contains(victim) {
+						continue
+					}
+					if fixed, ok := rp.Repair(p); ok {
+						repaired++
+						hops += fixed.Hops()
+					}
+				}
+				return net.Metrics().TotalBytes, 1e3*float64(repaired) + float64(hops)
+			},
+		},
+		{
 			Name: "sweep",
 			Desc: "parallel experiment sweep (fig2+fig4+fig7, quick config, all cores)",
 			Run: func() (int64, float64) {

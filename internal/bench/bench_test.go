@@ -22,10 +22,31 @@ func TestScenarioRegistry(t *testing.T) {
 		}
 		seen[s.Name] = true
 	}
-	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-1k", "topo-2k", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
+	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-1k", "topo-2k", "churn-1k", "repair", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
 		if !seen[want] {
 			t.Errorf("scenario %q missing from registry", want)
 		}
+	}
+}
+
+// TestRepairScenarioDeterminism runs the new section-7 scenario twice: the
+// churn-recovery path must be as reproducible as everything else in the
+// trajectory file (the churn-1k equivalent is covered by the committed
+// checksum via the CI drift gate; it is too heavy for a unit test).
+func TestRepairScenarioDeterminism(t *testing.T) {
+	var s Scenario
+	for _, sc := range Scenarios() {
+		if sc.Name == "repair" {
+			s = sc
+		}
+	}
+	t1, c1 := s.Run()
+	t2, c2 := s.Run()
+	if t1 != t2 || c1 != c2 {
+		t.Fatalf("repair scenario not deterministic: (%d,%f) vs (%d,%f)", t1, c1, t2, c2)
+	}
+	if t1 <= 0 || c1 < 1e3 {
+		t.Fatalf("repair scenario repaired nothing: traffic=%d check=%f", t1, c1)
 	}
 }
 

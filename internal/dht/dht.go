@@ -73,6 +73,15 @@ func (r *Ring) HomeNode(key int32) topology.NodeID {
 	return r.order[at]
 }
 
+// ObserveFailures rebinds the ring's route memoization to the deployment
+// liveness view and drops every cached parent vector: stale vectors would
+// keep routing through dead nodes forever. Subsequent Route calls traverse
+// only surviving nodes. Call it after every liveness change (the engine
+// does, through the stepper failure hooks).
+func (r *Ring) ObserveFailures(live *topology.Liveness) {
+	r.parents = topology.NewLiveParentCache(r.topo, live)
+}
+
 // Route returns the underlay path from src to dst: the shortest hop-path
 // in the physical topology (BFS, deterministic tie-breaking). The BFS
 // parent vector toward each destination is computed once per Ring and

@@ -118,3 +118,43 @@ func TestRingRouteConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestObserveFailuresReroutes: memoized route vectors must be dropped and
+// recomputed around failed nodes after ObserveFailures.
+func TestObserveFailuresReroutes(t *testing.T) {
+	topo := topology.Generate(topology.Grid, 100, 1)
+	r := NewRing(topo)
+	live := topology.NewLiveness(topo.N())
+	// Find a route with an interior node, memoize it, then fail that node.
+	var src, dst, victim topology.NodeID = -1, -1, -1
+	for a := 0; a < topo.N() && victim < 0; a++ {
+		for b := 0; b < topo.N(); b++ {
+			if p := r.Route(topology.NodeID(a), topology.NodeID(b)); len(p) >= 4 {
+				src, dst, victim = topology.NodeID(a), topology.NodeID(b), p[1]
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no multi-hop route found")
+	}
+	live.Fail(victim)
+	// Without invalidation the stale vector still routes through the
+	// failure (the bug the engine recovery fixes).
+	if p := r.Route(src, dst); !p.Contains(victim) {
+		t.Fatalf("precondition: stale route %v should still use %d", p, victim)
+	}
+	r.ObserveFailures(live)
+	p := r.Route(src, dst)
+	if p == nil {
+		t.Fatal("no route after invalidation (grid stays connected)")
+	}
+	if p.Contains(victim) {
+		t.Fatalf("post-invalidation route %v still uses failed node %d", p, victim)
+	}
+	for i := 1; i < len(p); i++ {
+		if !topo.IsNeighbor(p[i-1], p[i]) {
+			t.Fatalf("rerouted path %v not link-valid", p)
+		}
+	}
+}

@@ -38,6 +38,53 @@ import (
 	"repro/internal/workload"
 )
 
+// ChurnEvent is one scheduled liveness change in a deployment's churn
+// schedule (section 7 made a first-class workload axis).
+type ChurnEvent struct {
+	// Epoch is the scheduler epoch at which the event applies (at the top
+	// of that epoch's Step, before any query runs its sampling cycle).
+	Epoch int
+	// Node is the affected node. The base station (node 0) never churns:
+	// the paper assumes a powered, reliable base, and every fallback path
+	// ends there. New panics on a base or out-of-range node.
+	Node topology.NodeID
+	// Revive restores the node instead of failing it.
+	Revive bool
+}
+
+// SeededChurn derives a deterministic churn schedule from a seed: each
+// epoch in [0, epochs), every currently-alive non-base node fails with
+// probability rate; when reviveAfter > 0 a failed node revives that many
+// epochs later (0 means failures are permanent). The schedule is a pure
+// function of the arguments, so churn runs are exactly reproducible.
+func SeededChurn(seed uint64, nodes, epochs int, rate float64, reviveAfter int) []ChurnEvent {
+	src := rng.New(seed).Split(0xC4E7)
+	var events []ChurnEvent
+	deadUntil := make([]int, nodes) // 0 = alive; otherwise revival epoch (or maxInt)
+	const never = 1 << 30
+	for ep := 0; ep < epochs; ep++ {
+		for i := 1; i < nodes; i++ {
+			if deadUntil[i] != 0 {
+				if ep >= deadUntil[i] {
+					events = append(events, ChurnEvent{Epoch: ep, Node: topology.NodeID(i), Revive: true})
+					deadUntil[i] = 0
+				} else {
+					continue
+				}
+			}
+			if src.Bool(rate) {
+				events = append(events, ChurnEvent{Epoch: ep, Node: topology.NodeID(i)})
+				if reviveAfter > 0 {
+					deadUntil[i] = ep + reviveAfter
+				} else {
+					deadUntil[i] = never
+				}
+			}
+		}
+	}
+	return events
+}
+
 // Options configures the shared deployment an Engine schedules over.
 type Options struct {
 	// Kind selects the topology class (default ModerateRandom).
@@ -53,6 +100,28 @@ type Options struct {
 	// Seed is the engine seed every per-query stream derives from
 	// (default 1).
 	Seed uint64
+	// Churn is the deployment's fail/revive schedule, applied once per
+	// epoch at the top of Step against the SHARED liveness view — a node
+	// failed here is dead in the substrate and in every query's network
+	// simultaneously. Same-epoch events apply in slice order. Each
+	// failure triggers engine-wide recovery: substrate tree rebuilds,
+	// per-query path repair (exploration charged once to the shared
+	// stream) and memoized-route invalidation.
+	Churn []ChurnEvent
+}
+
+// EffectiveNodes returns the deployment size New builds for a kind/nodes
+// pair: the default of 100, and Intel's fixed 54-mote layout (for which
+// nodes is ignored). The single place sizing knowledge lives — churn
+// validation in the facade and CLI resolve node counts through it.
+func EffectiveNodes(kind topology.Kind, nodes int) int {
+	if kind == topology.Intel {
+		return 54
+	}
+	if nodes == 0 {
+		return 100
+	}
+	return nodes
 }
 
 func (o Options) withDefaults() Options {
@@ -165,6 +234,12 @@ type EpochStats struct {
 	// NewResults maps query ID to join results delivered during this
 	// epoch (only queries with a non-zero delta appear).
 	NewResults map[string]int
+	// Failed lists the nodes the churn schedule failed this epoch;
+	// Repaired counts query paths rerouted in-network around those
+	// failures, Fallbacks the pairs that switched to joining at the base
+	// station instead (section 7's two recovery outcomes).
+	Failed              []topology.NodeID
+	Repaired, Fallbacks int
 }
 
 // Engine schedules continuous queries over one shared deployment.
@@ -178,33 +253,58 @@ type Engine struct {
 
 	opts    Options
 	shared  *sim.Network
+	live    *topology.Liveness
 	queries []*Query
 	byID    map[string]*Query
 	epoch   int
 	// unretired counts queries not yet Retired, so the scheduler answers
 	// "anything left?" without rescanning the registry every epoch.
 	unretired int
+	// churnAt indexes Options.Churn by epoch (events in slice order).
+	churnAt map[int][]ChurnEvent
+	// Recovery totals across the run (see Report).
+	totalFailed, totalRepaired, totalFallbacks, totalRebuilds int
 }
 
-// New builds the shared deployment: topology, node statics, the loss
-// network for infrastructure traffic, and the routing substrate with tree
-// construction charged ONCE to the shared metrics stream. Queries extend
-// the substrate's indexes incrementally at admission.
+// New builds the shared deployment: topology, node statics, ONE liveness
+// view shared by the infrastructure network and every per-query network,
+// and the routing substrate with tree construction charged ONCE to the
+// shared metrics stream. Queries extend the substrate's indexes
+// incrementally at admission. It panics when the churn schedule names the
+// base station or an out-of-range node.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
 	topo := topology.Generate(opts.Kind, opts.Nodes, 1)
 	nodes := workload.BuildNodes(topo, 1)
-	shared := sim.NewNetwork(topo, opts.LossProb, opts.Seed^0xA59E17)
+	live := topology.NewLiveness(topo.N())
+	shared := sim.NewSharedNetwork(topo, opts.LossProb, opts.Seed^0xA59E17, live)
 	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: opts.Trees}, shared)
-	return &Engine{
+	e := &Engine{
 		Topo:   topo,
 		Nodes:  nodes,
 		Sub:    sub,
 		opts:   opts,
 		shared: shared,
+		live:   live,
 		byID:   map[string]*Query{},
 	}
+	if len(opts.Churn) > 0 {
+		e.churnAt = make(map[int][]ChurnEvent)
+		for _, ev := range opts.Churn {
+			if ev.Node == topology.Base {
+				panic("engine: churn schedule may not fail the base station")
+			}
+			if ev.Node < 0 || int(ev.Node) >= topo.N() {
+				panic(fmt.Sprintf("engine: churn event names node %d outside the %d-node deployment", ev.Node, topo.N()))
+			}
+			e.churnAt[ev.Epoch] = append(e.churnAt[ev.Epoch], ev)
+		}
+	}
+	return e
 }
+
+// Liveness returns the deployment's shared node-liveness view.
+func (e *Engine) Liveness() *topology.Liveness { return e.live }
 
 // Epoch returns the next epoch the scheduler will run.
 func (e *Engine) Epoch() int { return e.epoch }
@@ -257,9 +357,11 @@ func (e *Engine) Submit(qc QueryConfig) (*Query, error) {
 	}
 	// Independent per-query streams keyed by submission index: the loss
 	// process and the sampler never share draws across queries, so adding
-	// a query never perturbs another's run.
+	// a query never perturbs another's run. Metrics and loss are private;
+	// the liveness view is the DEPLOYMENT's — a churned node is dead in
+	// every query's network at once.
 	src := rng.New(e.opts.Seed).Split(uint64(idx) + 0x51)
-	net := sim.NewNetwork(e.Topo, e.opts.LossProb, src.Uint64())
+	net := sim.NewSharedNetwork(e.Topo, e.opts.LossProb, src.Uint64(), e.live)
 	sampler := qc.Sampler
 	if sampler == nil {
 		sampler = workload.NewGenerator(rates, src.Uint64())
@@ -308,7 +410,53 @@ func (e *Engine) retire(q *Query, epoch int) {
 	e.unretired--
 }
 
-// Step runs one scheduler epoch: admissions due this epoch, then one
+// applyChurn applies the churn events scheduled for epoch against the
+// shared liveness view and, when any node failed, runs the engine-wide
+// recovery: the substrate rebuilds the routing trees the failures broke
+// (charged to the shared stream), and every live stepper implementing
+// join.FailureRecoverer repairs its paths through one shared
+// routing.Repairer — so limited-exploration probes for a given broken gap
+// are charged once to the shared metrics, no matter how many queries
+// route through it. Returns the nodes failed this epoch and the
+// repair/fallback tallies.
+func (e *Engine) applyChurn(epoch int) (failed []topology.NodeID, repaired, fallbacks int) {
+	evs := e.churnAt[epoch]
+	if len(evs) == 0 {
+		return nil, 0, 0
+	}
+	for _, ev := range evs {
+		if ev.Revive {
+			e.live.Revive(ev.Node)
+			continue
+		}
+		if e.live.Alive(ev.Node) {
+			e.live.Fail(ev.Node)
+			failed = append(failed, ev.Node)
+		}
+	}
+	if len(failed) == 0 {
+		return nil, 0, 0
+	}
+	e.totalFailed += len(failed)
+	e.totalRebuilds += e.Sub.RepairTrees(e.shared, e.live, failed)
+	rp := routing.NewRepairer(e.Topo, e.shared, routing.DefaultRepairLimit)
+	for _, q := range e.queries {
+		if q.state != Live {
+			continue
+		}
+		if fr, ok := q.stepper.(join.FailureRecoverer); ok {
+			r, f := fr.HandleNodeFailure(failed, rp)
+			repaired += r
+			fallbacks += f
+		}
+	}
+	e.totalRepaired += repaired
+	e.totalFallbacks += fallbacks
+	return failed, repaired, fallbacks
+}
+
+// Step runs one scheduler epoch: admissions due this epoch, then the
+// epoch's churn events plus engine-wide failure recovery, then one
 // sampling cycle of every live query (in submission order), then
 // retirements. It reports whether any query is still pending or live.
 //
@@ -328,6 +476,14 @@ func (e *Engine) Step() bool {
 			if track {
 				stats.Admitted = append(stats.Admitted, q.ID)
 			}
+		}
+	}
+	if e.churnAt != nil {
+		failed, repaired, fallbacks := e.applyChurn(epoch)
+		if track {
+			stats.Failed = failed
+			stats.Repaired = repaired
+			stats.Fallbacks = fallbacks
 		}
 	}
 	live := 0
@@ -416,6 +572,11 @@ type Report struct {
 	AggregateBytesPerNode float64
 	// Results totals delivered join results across queries.
 	Results int
+	// FailedNodes counts nodes failed by the churn schedule over the run;
+	// PathsRepaired / BaseFallbacks are the section 7 recovery outcomes
+	// (in-network reroutes vs pairs switched to the base station) and
+	// TreesRebuilt the substrate's tree-rebuild fallbacks.
+	FailedNodes, PathsRepaired, BaseFallbacks, TreesRebuilt int
 	// Queries reports every submitted query in submission order.
 	Queries []QueryReport
 }
@@ -430,6 +591,10 @@ func (e *Engine) Report() *Report {
 		Nodes:          n,
 		SharedBytes:    sm.TotalBytes,
 		SharedMessages: sm.TotalMessages,
+		FailedNodes:    e.totalFailed,
+		PathsRepaired:  e.totalRepaired,
+		BaseFallbacks:  e.totalFallbacks,
+		TreesRebuilt:   e.totalRebuilds,
 	}
 	for _, q := range e.queries {
 		qr := QueryReport{

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/join"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -245,6 +246,194 @@ func TestSweepEngineDeterminism(t *testing.T) {
 	par := Sweep(8, runtime.NumCPU(), job)
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("sequential %v != parallel %v", seq, par)
+	}
+}
+
+// TestChurnFailureSharedEverywhere is the tentpole acceptance test: a node
+// failed via the engine churn schedule is dead in the shared substrate
+// network AND in every query's private network simultaneously — correlated
+// failure over one deployment, not a per-query fiction.
+func TestChurnFailureSharedEverywhere(t *testing.T) {
+	victim := topology.NodeID(17)
+	e := New(Options{Seed: 1, Churn: []ChurnEvent{{Epoch: 3, Node: victim}}})
+	if _, err := e.Submit(QueryConfig{ID: "a", SQL: q1SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(QueryConfig{ID: "b", SQL: q2SQL(t), Algorithm: join.Base{}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	for _, q := range e.queries {
+		if !q.net.Alive(victim) {
+			t.Fatalf("query %s sees node %d dead before its churn epoch", q.ID, victim)
+		}
+	}
+	e.Step() // epoch 3: the failure applies
+	if e.shared.Alive(victim) {
+		t.Fatal("shared substrate network still sees the churned node alive")
+	}
+	if e.Liveness().Alive(victim) {
+		t.Fatal("deployment liveness view still sees the churned node alive")
+	}
+	for _, q := range e.queries {
+		if q.net.Alive(victim) {
+			t.Fatalf("query %s still sees churned node %d alive", q.ID, victim)
+		}
+	}
+	rep := e.Run(10)
+	if rep.FailedNodes != 1 {
+		t.Fatalf("FailedNodes = %d, want 1", rep.FailedNodes)
+	}
+}
+
+// TestChurnRecoveryRepairsAndFallsBack drives the full section 7 recovery
+// through the engine: failing an intermediate node of a pair path must
+// produce an in-network repair, failing a join node a base fallback, and
+// results must keep flowing afterwards.
+func TestChurnRecoveryRepairsAndFallsBack(t *testing.T) {
+	probe := New(Options{Seed: 1})
+	if _, err := probe.Submit(QueryConfig{SQL: q2SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	probe.Run(12)
+	res := probe.Queries()[0].Result()
+	if len(res.PairPaths) == 0 {
+		t.Fatal("probe run placed no in-network pairs")
+	}
+	// Victim 1: an intermediate hop (neither endpoint nor join node) of
+	// the longest pair path. Victim 2: a join node of a different pair.
+	var mid, joinNode topology.NodeID = -1, -1
+	for i, p := range res.PairPaths {
+		j := res.PairJoinNodes[i]
+		for _, id := range p[1 : len(p)-1] {
+			if id != j && mid < 0 {
+				mid = id
+			}
+		}
+		if mid >= 0 && j != mid {
+			joinNode = j
+		}
+		if mid >= 0 && joinNode >= 0 && joinNode != mid {
+			break
+		}
+	}
+	if mid < 0 || joinNode < 0 {
+		t.Fatal("could not pick churn victims from the probe run")
+	}
+	e := New(Options{Seed: 1, Churn: []ChurnEvent{
+		{Epoch: 4, Node: mid},
+		{Epoch: 7, Node: joinNode},
+	}})
+	if _, err := e.Submit(QueryConfig{SQL: q2SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	var failedSeen int
+	e.OnEpoch = func(s EpochStats) { failedSeen += len(s.Failed) }
+	rep := e.Run(25)
+	if failedSeen != 2 || rep.FailedNodes != 2 {
+		t.Fatalf("failed = (%d stream, %d report), want 2", failedSeen, rep.FailedNodes)
+	}
+	if rep.PathsRepaired < 1 {
+		t.Fatalf("PathsRepaired = %d, want >= 1 (intermediate failure must repair in-network)", rep.PathsRepaired)
+	}
+	if rep.BaseFallbacks < 1 {
+		t.Fatalf("BaseFallbacks = %d, want >= 1 (join-node failure must fall back)", rep.BaseFallbacks)
+	}
+	if rep.Results == 0 {
+		t.Fatal("no results delivered despite recovery")
+	}
+	// Repair exploration is charged once, to the shared stream: shared
+	// traffic must exceed a churn-free run's.
+	quiet := New(Options{Seed: 1})
+	if _, err := quiet.Submit(QueryConfig{SQL: q2SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if qr := quiet.Run(25); rep.SharedBytes <= qr.SharedBytes {
+		t.Fatalf("churn run shared=%d not above churn-free shared=%d (repair/rebuild traffic missing)",
+			rep.SharedBytes, qr.SharedBytes)
+	}
+}
+
+// TestChurnDeterminism: a churned run is still a pure function of
+// (Options, submissions).
+func TestChurnDeterminism(t *testing.T) {
+	churn := SeededChurn(11, 100, 20, 0.01, 6)
+	if len(churn) == 0 {
+		t.Fatal("seeded schedule empty at rate 0.01 over 20 epochs")
+	}
+	mk := func() *Report {
+		e := New(Options{Seed: 7, Churn: churn})
+		if _, err := e.Submit(QueryConfig{SQL: q1SQL(t), Cycles: 18}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Submit(QueryConfig{SQL: q2SQL(t), AdmitAt: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(20)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("churned reports differ:\n%+v\n%+v", a, b)
+	}
+	// And the schedule generator itself is deterministic.
+	if !reflect.DeepEqual(churn, SeededChurn(11, 100, 20, 0.01, 6)) {
+		t.Fatal("SeededChurn not deterministic")
+	}
+}
+
+// TestChurnRevive: a fail/revive pair leaves the node alive again, and the
+// revival is visible everywhere at once.
+func TestChurnRevive(t *testing.T) {
+	victim := topology.NodeID(9)
+	e := New(Options{Seed: 1, Churn: []ChurnEvent{
+		{Epoch: 2, Node: victim},
+		{Epoch: 5, Node: victim, Revive: true},
+	}})
+	if _, err := e.Submit(QueryConfig{SQL: q1SQL(t)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		e.Step()
+	}
+	if e.live.Alive(victim) {
+		t.Fatal("victim alive mid-outage")
+	}
+	for i := 0; i < 4; i++ {
+		e.Step()
+	}
+	if !e.live.Alive(victim) || !e.queries[0].net.Alive(victim) {
+		t.Fatal("revival not visible in all networks")
+	}
+	if rep := e.Report(); rep.FailedNodes != 1 {
+		t.Fatalf("FailedNodes = %d, want 1", rep.FailedNodes)
+	}
+}
+
+// TestChurnRejectsBaseStation: the base never churns.
+func TestChurnRejectsBaseStation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("churn schedule failing the base station did not panic")
+		}
+	}()
+	New(Options{Churn: []ChurnEvent{{Epoch: 0, Node: topology.Base}}})
+}
+
+// TestNoChurnUnchanged: an empty schedule leaves the engine's behavior
+// byte-identical to a schedule-free engine (the determinism-checksum
+// guarantee for all pre-existing scenarios).
+func TestNoChurnUnchanged(t *testing.T) {
+	mk := func(churn []ChurnEvent) *Report {
+		e := New(Options{Seed: 3, Churn: churn})
+		if _, err := e.Submit(QueryConfig{SQL: q1SQL(t), Cycles: 15}); err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(15)
+	}
+	if !reflect.DeepEqual(mk(nil), mk([]ChurnEvent{})) {
+		t.Fatal("empty churn schedule perturbed the run")
 	}
 }
 

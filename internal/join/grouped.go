@@ -352,6 +352,13 @@ type ghtGroup struct {
 
 // Start implements Continuous.
 func (h Hashed) Start(cfg *Config) Stepper {
+	// A query admitted into a deployment that has already lost nodes must
+	// not compute member routes through them: bind the router to the
+	// network's liveness view up front (the failure hook rebinds on later
+	// failures). A no-op on fresh deployments.
+	if lo, ok := h.Router.(LivenessObserver); ok && cfg.Net.Liveness().AnyDead() {
+		lo.ObserveFailures(cfg.Net.Liveness())
+	}
 	res := &Result{Algorithm: h.Label}
 	rec := newRecorder(res)
 	groups := cfg.Spec.Groups()
@@ -387,7 +394,7 @@ func (h Hashed) Start(cfg *Config) Stepper {
 		}
 	}
 	snapshotInit(cfg, res)
-	return &hashedStepper{cfg: cfg, res: res, rec: rec, gs: gs}
+	return &hashedStepper{cfg: cfg, res: res, rec: rec, gs: gs, router: h.Router}
 }
 
 // hashedStepper is the continuous execution of a hash-addressed join.
@@ -396,7 +403,40 @@ type hashedStepper struct {
 	res      *Result
 	rec      *recorder
 	gs       []ghtGroup
+	router   HomeRouter
 	matchBuf []window.Match // reusable Arrive buffer
+}
+
+// HandleNodeFailure implements FailureRecoverer for the hash-addressed
+// substrates: the router's memoized routing state (dht.Ring's parent
+// vectors) is invalidated against the deployment liveness, then every
+// member route crossing a failed node is recomputed. A reroute that now
+// avoids the failure counts as a repair; members the substrate can no
+// longer route (home node dead, or the member cut off) keep their stale
+// path, whose transmissions are charged and dropped at the dead hop —
+// hash substrates have no base-station fallback (the home node IS the
+// rendezvous), which is part of why the paper finds them fragile.
+func (h *hashedStepper) HandleNodeFailure(failed []topology.NodeID, rp *routing.Repairer) (repaired, fallbacks int) {
+	if lo, ok := h.router.(LivenessObserver); ok {
+		lo.ObserveFailures(h.cfg.Net.Liveness())
+	}
+	for gi := range h.gs {
+		gg := &h.gs[gi]
+		if !h.cfg.Net.Alive(gg.home) {
+			continue // rendezvous gone: the group stalls
+		}
+		for mi := range gg.members {
+			m := &gg.members[mi]
+			if !h.cfg.Net.Alive(m.id) || !m.path.ContainsAny(failed) {
+				continue
+			}
+			if np := h.router.Route(m.id, gg.home); np != nil && !np.ContainsAny(failed) {
+				m.path = np
+				repaired++
+			}
+		}
+	}
+	return repaired, 0
 }
 
 // Step implements Stepper.
@@ -407,6 +447,12 @@ func (h *hashedStepper) Step(cycle int) {
 		gg := &h.gs[gi]
 		matches := 0
 		for _, m := range gg.members {
+			if m.path == nil {
+				// The substrate could not route this member to the home
+				// node (cut off by failures at admission); a nil path
+				// must not count as a vacuous delivery.
+				continue
+			}
 			v, send := cfg.Sampler.Sample(m.id, m.role, cycle)
 			if !send {
 				continue

@@ -214,6 +214,7 @@ func (e *engine) Finish() *Result {
 		} else {
 			e.res.InNetPairs++
 			e.res.PairJoinNodes = append(e.res.PairJoinNodes, p.joinNode())
+			e.res.PairPaths = append(e.res.PairPaths, p.path.Clone())
 		}
 	}
 	return finish(e.cfg, e.res)
@@ -781,6 +782,30 @@ func (e *engine) arriveAt(j topology.NodeID, ps *producerState, v int32, cycle i
 // cycles.
 const failureRecoveryCycles = 5
 
+// fallbackToBase switches p to joining at the base station — section 7's
+// last resort, shared by the per-cycle delivery-failure path and the
+// engine-driven recovery pass. Window registrations move to the base's
+// state; callers replay retained windows separately.
+func (e *engine) fallbackToBase(p *pairState) {
+	e.unregisterPair(p)
+	p.jIdx = -1
+	p.recoverAt = 0
+	e.stateAt(topology.Base).AddPair(p.s, p.t)
+}
+
+// replayWindowToBase ships ps's retained tuples up the base tree so the
+// base can reconstruct the join window of a pair that just fell back —
+// data traffic, charged to the query's own stream.
+func (e *engine) replayWindowToBase(ps *producerState) {
+	if ps == nil || len(ps.recent) == 0 || !e.cfg.Net.Alive(ps.key.id) {
+		return
+	}
+	path := e.cfg.Sub.PathToBase(ps.key.id)
+	if ok, _ := e.cfg.Net.Transfer(path, len(ps.recent)*sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: topology.Base}); ok {
+		e.stateAt(topology.Base).Restore(ps.recent)
+	}
+}
+
 // handleDeliveryFailure reacts to a failed transfer toward a pair's join
 // node: repair the path around an intermediate failure, or — when the join
 // node itself is gone — switch the pair to the base station, replaying the
@@ -824,18 +849,94 @@ func (e *engine) handleDeliveryFailure(ps *producerState, p *pairState, cycle in
 	}
 	// Join node unreachable: switch to joining at the base, forwarding the
 	// last w tuples to rebuild the window.
-	e.unregisterPair(p)
-	p.jIdx = -1
-	e.stateAt(topology.Base).AddPair(p.s, p.t)
-	if len(ps.recent) > 0 {
-		path := cfg.Sub.PathToBase(ps.key.id)
-		if ok, _ := cfg.Net.Transfer(path, len(ps.recent)*sim.TupleBytes, sim.Data, sim.Flow{Src: ps.key.id, Dst: topology.Base}); ok {
-			e.stateAt(topology.Base).Restore(ps.recent)
-		}
-	}
+	e.fallbackToBase(p)
+	e.replayWindowToBase(ps)
 	if e.opts.Multicast {
 		e.rebuildTree(ps, true)
 	}
+}
+
+// HandleNodeFailure implements FailureRecoverer: the engine-driven,
+// epoch-boundary analogue of handleDeliveryFailure. Where the per-cycle
+// path reacts to one producer's failed transfer, this pass sweeps every
+// pair whose path crosses a freshly failed node at once: pairs with a dead
+// endpoint are abandoned; pairs whose join node survives get the section 7
+// limited-exploration repair (probes charged once to the SHARED stream via
+// rp); pairs whose join node died — or whose gap is unbridgeable — switch
+// to the base station immediately (the deployment-wide view needs no
+// multi-cycle silent-node detection), replaying each affected producer's
+// retained window so the base can rebuild join state (charged to the
+// query's own stream, like any data). Multicast trees of affected
+// producers are rebuilt afterwards.
+func (e *engine) HandleNodeFailure(failed []topology.NodeID, rp *routing.Repairer) (repaired, fallbacks int) {
+	cfg := e.cfg
+	n := cfg.Topo.N()
+	// rebuild[role][id] marks producers needing a multicast-tree rebuild;
+	// replay[role][id] marks producers whose retained window must reach
+	// the base. Dense marks + the ordered e.order pass keep everything
+	// deterministic.
+	var rebuildS, rebuildT, replayS, replayT []bool
+	mark := func(set *[]bool, id topology.NodeID) {
+		if *set == nil {
+			*set = make([]bool, n)
+		}
+		(*set)[id] = true
+	}
+	for _, p := range e.pairs {
+		if p.dead {
+			continue
+		}
+		if !cfg.Net.Alive(p.s) || !cfg.Net.Alive(p.t) {
+			e.unregisterPair(p)
+			p.dead = true
+			continue
+		}
+		if p.jIdx < 0 || !p.path.ContainsAny(failed) {
+			// Base-joined pairs route over the substrate's base tree,
+			// which the engine rebuilds separately.
+			continue
+		}
+		j := p.joinNode()
+		if cfg.Net.Alive(j) {
+			if rep, ok := rp.Repair(p.path); ok {
+				at := -1
+				for i, id := range rep {
+					if id == j {
+						at = i
+						break
+					}
+				}
+				if at >= 0 {
+					p.path = rep
+					p.jIdx = at
+					repaired++
+					mark(&rebuildS, p.s)
+					mark(&rebuildT, p.t)
+					continue
+				}
+				// The detour spliced the join node out; fall back.
+			}
+		}
+		// Join node gone or gap unbridgeable: coordinated base fallback.
+		e.fallbackToBase(p)
+		fallbacks++
+		mark(&replayS, p.s)
+		mark(&replayT, p.t)
+		mark(&rebuildS, p.s)
+		mark(&rebuildT, p.t)
+	}
+	for _, key := range e.order {
+		marked := func(set []bool) bool { return set != nil && set[key.id] }
+		ps := e.prodFor(key)
+		if (key.role == query.S && marked(replayS)) || (key.role == query.T && marked(replayT)) {
+			e.replayWindowToBase(ps)
+		}
+		if e.opts.Multicast &&
+			((key.role == query.S && marked(rebuildS)) || (key.role == query.T && marked(rebuildT))) {
+			e.rebuildTree(ps, true)
+		}
+	}
+	return repaired, fallbacks
 }
 
 // --- Adaptive re-optimization (section 6) -------------------------------------

@@ -82,6 +82,10 @@ type Result struct {
 	// (In-Net algorithms only), in pair-discovery order. Used by the
 	// failure experiments to pick a victim.
 	PairJoinNodes []topology.NodeID
+	// PairPaths lists, aligned with PairJoinNodes, each in-network pair's
+	// final s..t path. The churn benches pick intermediate-node victims
+	// from it.
+	PairPaths []routing.Path
 }
 
 // MeanDelay returns the average inter-result delay in cycles.
@@ -123,6 +127,27 @@ type Stepper interface {
 type Continuous interface {
 	Algorithm
 	Start(cfg *Config) Stepper
+}
+
+// FailureRecoverer is implemented by steppers that can repair their
+// routing state after the shared deployment loses nodes — section 7's
+// recovery run at deployment scope by internal/engine. failed lists the
+// nodes that failed this epoch; rp charges limited-exploration probes to
+// the caller's network (the engine points it at the SHARED metrics
+// stream, so repair exploration is paid once, not once per query).
+// It returns how many paths were repaired in-network and how many pairs
+// fell back to joining at the base station. Steppers that route only
+// through the substrate's trees (which the engine rebuilds separately)
+// need not implement it.
+type FailureRecoverer interface {
+	HandleNodeFailure(failed []topology.NodeID, rp *routing.Repairer) (repaired, fallbacks int)
+}
+
+// LivenessObserver is implemented by routers (grouped.HomeRouter
+// implementations) that memoize routing state which must be recomputed
+// around failed nodes — dht.Ring's per-destination parent vectors.
+type LivenessObserver interface {
+	ObserveFailures(live *topology.Liveness)
 }
 
 // runSteps drives a stepper through cfg.Cycles — the single-query path
@@ -199,7 +224,7 @@ func sendResults(cfg *Config, rec *recorder, j topology.NodeID, matches int, cyc
 // and applies the configured failure injection at the right cycle. Every
 // engine calls it at the top of its cycle loop.
 func maybeFail(cfg *Config, cycle int) {
-	cfg.Net.BeginCycle()
+	cfg.Net.BeginCycle(cycle)
 	if cfg.FailNode >= 0 && cycle == cfg.FailCycle {
 		cfg.Net.Fail(cfg.FailNode)
 	}

@@ -482,3 +482,43 @@ func TestOpportunisticMergeUnderLoss(t *testing.T) {
 		t.Fatal("merged delivery lost everything under 5% loss")
 	}
 }
+
+// TestHashedStartAvoidsPreexistingFailures: a hashed query admitted into a
+// deployment that has ALREADY lost nodes must not compute member routes
+// through them (the engine admits queries at any epoch, possibly after
+// churn).
+func TestHashedStartAvoidsPreexistingFailures(t *testing.T) {
+	h := newHarness(t, "Q2", workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1})
+	cfg := h.config(10, 0)
+	ring := dht.NewRing(h.topo)
+	// Find a victim on some member route of a fresh start.
+	fresh := Hashed{Label: "DHT", Router: ring}.Start(cfg).(*hashedStepper)
+	var victim topology.NodeID = -1
+	for _, gg := range fresh.gs {
+		for _, m := range gg.members {
+			if len(m.path) >= 3 {
+				victim = m.path[1]
+				break
+			}
+		}
+		if victim >= 0 {
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no multi-hop member route on this seed")
+	}
+	cfg2 := h.config(10, 0)
+	cfg2.Net.Fail(victim)
+	late := Hashed{Label: "DHT", Router: dht.NewRing(h.topo)}.Start(cfg2).(*hashedStepper)
+	for _, gg := range late.gs {
+		if !cfg2.Net.Alive(gg.home) {
+			continue
+		}
+		for _, m := range gg.members {
+			if cfg2.Net.Alive(m.id) && m.path.Contains(victim) {
+				t.Fatalf("member %d routed through pre-failed node %d: %v", m.id, victim, m.path)
+			}
+		}
+	}
+}

@@ -20,6 +20,16 @@ func RepairPath(topo *topology.Topology, net *sim.Network, path Path, limit int)
 	if limit <= 0 {
 		limit = DefaultRepairLimit
 	}
+	detour := func(pred, succ topology.NodeID) (Path, bool) {
+		return boundedDetour(topo, net, pred, succ, limit)
+	}
+	return repairWith(net, path, detour)
+}
+
+// repairWith is the repair loop shared by RepairPath and Repairer: it
+// splices detours (from the given finder) around every failed node until
+// the path is clean or some gap is unbridgeable.
+func repairWith(net *sim.Network, path Path, detour func(pred, succ topology.NodeID) (Path, bool)) (Path, bool) {
 	out := path.Clone()
 	for {
 		i := -1
@@ -36,21 +46,23 @@ func RepairPath(topo *topology.Topology, net *sim.Network, path Path, limit int)
 			return nil, false // endpoint failed; cannot repair
 		}
 		pred, succ := out[i-1], out[i+1]
-		detour, ok := boundedDetour(topo, net, pred, succ, limit)
+		d, ok := detour(pred, succ)
 		if !ok {
 			return nil, false
 		}
-		repaired := make(Path, 0, len(out)+len(detour))
+		repaired := make(Path, 0, len(out)+len(d))
 		repaired = append(repaired, out[:i]...)
-		repaired = append(repaired, detour[1:]...)
+		repaired = append(repaired, d[1:]...)
 		repaired = append(repaired, out[i+2:]...)
 		out = dedupeLoops(repaired)
 	}
 }
 
-// boundedDetour BFS-searches from pred for succ within limit hops, skipping
-// failed nodes, charging one probe per explored edge. Ties break toward
-// lower node IDs for determinism.
+// boundedDetour BFS-searches from pred for succ within limit hops, charging
+// one probe per explored edge — including probes toward failed neighbours,
+// which are transmitted and simply never acked (section 7: the explorer
+// only learns a neighbour is gone by paying for the probe). Failed nodes
+// are never traversed. Ties break toward lower node IDs for determinism.
 func boundedDetour(topo *topology.Topology, net *sim.Network, pred, succ topology.NodeID, limit int) (Path, bool) {
 	type state struct {
 		id   topology.NodeID
@@ -68,11 +80,13 @@ func boundedDetour(topo *topology.Topology, net *sim.Network, pred, succ topolog
 			if _, seen := parent[nb]; seen {
 				continue
 			}
+			// One probe transmission per explored edge; a probe into a
+			// failed node is charged (1+MaxRetries unacked attempts, see
+			// sim.Transfer) but yields no frontier to expand.
+			net.Transfer(Path{cur.id, nb}, probeKeyBytes, sim.Control, sim.Flow{})
 			if !net.Alive(nb) {
 				continue
 			}
-			// One probe transmission per explored edge.
-			net.Transfer(Path{cur.id, nb}, probeKeyBytes, sim.Control, sim.Flow{})
 			parent[nb] = cur.id
 			if nb == succ {
 				var detour Path
@@ -86,6 +100,54 @@ func boundedDetour(topo *topology.Topology, net *sim.Network, pred, succ topolog
 	}
 	return nil, false
 }
+
+// detourKey identifies one broken gap a detour bridges.
+type detourKey struct{ pred, succ topology.NodeID }
+
+// Repairer memoizes bounded-detour searches so a deployment-wide recovery
+// pass (internal/engine) explores each broken link neighbourhood once no
+// matter how many query paths route through it: the first repair of a
+// (pred, succ) gap charges the exploration probes to the Repairer's
+// network — the engine points it at the SHARED metrics stream — and later
+// paths broken at the same gap reuse the detour for free. Repaired paths
+// are identical to RepairPath's with the same limit; only the duplicate
+// probe traffic is deduplicated. A Repairer is valid for one liveness
+// state: build a fresh one (or Reset) after further failures or revivals.
+type Repairer struct {
+	topo    *topology.Topology
+	net     *sim.Network
+	limit   int
+	detours map[detourKey]Path // nil entry = known-unbridgeable gap
+}
+
+// NewRepairer returns a Repairer charging exploration to net (limit <= 0
+// uses DefaultRepairLimit).
+func NewRepairer(topo *topology.Topology, net *sim.Network, limit int) *Repairer {
+	if limit <= 0 {
+		limit = DefaultRepairLimit
+	}
+	return &Repairer{topo: topo, net: net, limit: limit, detours: map[detourKey]Path{}}
+}
+
+// Repair runs the section 7 limited-exploration repair of path, reusing
+// memoized detours. It returns the repaired path and whether it succeeded.
+func (r *Repairer) Repair(path Path) (Path, bool) {
+	return repairWith(r.net, path, func(pred, succ topology.NodeID) (Path, bool) {
+		key := detourKey{pred, succ}
+		if d, seen := r.detours[key]; seen {
+			return d, d != nil
+		}
+		d, ok := boundedDetour(r.topo, r.net, pred, succ, r.limit)
+		if !ok {
+			d = nil
+		}
+		r.detours[key] = d
+		return d, ok
+	})
+}
+
+// Reset drops the memoized detours; call it when liveness changes again.
+func (r *Repairer) Reset() { r.detours = map[detourKey]Path{} }
 
 // Shortcut compresses a discovered path by skipping ahead whenever a later
 // path node is a direct radio neighbour of an earlier one. The multi-tree

@@ -218,23 +218,92 @@ func (s *Substrate) buildTables(net *sim.Network) {
 			s.regions[ti] = s.buildRegions(tree)
 		}
 		if net != nil {
-			// Each non-root node ships its summary entry to its parent
-			// once during construction.
-			for i := 0; i < s.Topo.N(); i++ {
-				id := topology.NodeID(i)
-				if p := tree.Parent[id]; p >= 0 {
-					size := 0
-					for _, col := range s.cols[ti] {
-						size += col[id].SizeBytes()
-					}
-					if s.indexPos {
-						size += s.regions[ti][id].SizeBytes()
-					}
-					net.Transfer(Path{id, p}, size, sim.Control, sim.Flow{})
-				}
-			}
+			s.chargeTableShip(ti, tree, net)
 		}
 	}
+}
+
+// chargeTableShip charges one full routing-table row shipped from every
+// non-root node to its parent in tree ti: the dissemination cost of a
+// (re)built table. Transfers from failed nodes abort unpaid, so a rebuild
+// only charges the surviving nodes.
+func (s *Substrate) chargeTableShip(ti int, tree *Tree, net *sim.Network) {
+	for i := 0; i < s.Topo.N(); i++ {
+		id := topology.NodeID(i)
+		if p := tree.Parent[id]; p >= 0 {
+			size := 0
+			for _, col := range s.cols[ti] {
+				size += col[id].SizeBytes()
+			}
+			if s.indexPos {
+				size += s.regions[ti][id].SizeBytes()
+			}
+			net.Transfer(Path{id, p}, size, sim.Control, sim.Flow{})
+		}
+	}
+}
+
+// RepairTrees is the tree-rebuild fallback the engine runs after node
+// failures: every routing tree in which some failed node is INTERIOR (has
+// children — a failed leaf breaks no one's route) is rebuilt around the
+// failure with RebuildTreeLive, its summary columns recomputed bottom-up,
+// and the fresh beacons plus table dissemination charged to net (the
+// engine's shared stream; failed nodes transmit nothing). A tree whose
+// root died is re-rooted at the alive node deepest in the base tree (ties
+// to the lowest ID) — the same "far from the base" intent as construction.
+// Callers holding paths from the old trees (PathToBase results etc.)
+// observe the repaired routes on their next lookup. Returns the number of
+// trees rebuilt.
+func (s *Substrate) RepairTrees(net *sim.Network, live *topology.Liveness, failed []topology.NodeID) int {
+	rebuilt := 0
+	for ti, tree := range s.Trees {
+		needs := !live.Alive(tree.Root)
+		for _, id := range failed {
+			if needs || len(tree.Children[id]) > 0 {
+				needs = true
+				break
+			}
+		}
+		if !needs {
+			continue
+		}
+		root := tree.Root
+		if !live.Alive(root) {
+			root = s.farthestAliveRoot(live)
+			if root < 0 {
+				continue // no alive replacement; leave the tree stale
+			}
+		}
+		nt := RebuildTreeLive(s.Topo, tree, root, net, live)
+		s.Trees[ti] = nt
+		for ci, spec := range s.specs {
+			s.cols[ti][ci] = s.buildColumn(nt, spec)
+		}
+		if s.indexPos {
+			s.regions[ti] = s.buildRegions(nt)
+		}
+		if net != nil {
+			s.chargeTableShip(ti, nt, net)
+		}
+		rebuilt++
+	}
+	return rebuilt
+}
+
+// farthestAliveRoot picks the replacement root for a tree whose root died:
+// the alive node deepest in the base tree, ties to the lowest node ID.
+// Returns -1 when no node is alive (not reachable in practice: the base
+// station never churns).
+func (s *Substrate) farthestAliveRoot(live *topology.Liveness) topology.NodeID {
+	best, bestDepth := topology.NodeID(-1), -1
+	base := s.Trees[0]
+	for i := 0; i < s.Topo.N(); i++ {
+		id := topology.NodeID(i)
+		if live.Alive(id) && base.Depth[id] > bestDepth {
+			best, bestDepth = id, base.Depth[id]
+		}
+	}
+	return best
 }
 
 func (s *Substrate) newSummary(spec IndexSpec) summary.Summary {

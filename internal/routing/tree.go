@@ -53,6 +53,18 @@ func (p Path) Contains(id topology.NodeID) bool {
 	return false
 }
 
+// ContainsAny reports whether any of ids appears on the path — the
+// affected-path test every FailureRecoverer runs against the epoch's
+// failed-node list.
+func (p Path) ContainsAny(ids []topology.NodeID) bool {
+	for _, id := range ids {
+		if p.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
 // Concat joins p with q where p ends at q's first node.
 func (p Path) Concat(q Path) Path {
 	if len(p) == 0 {
@@ -96,6 +108,58 @@ type Tree struct {
 // the tree forms (the flooding construction of [10]).
 func BuildTree(topo *topology.Topology, root topology.NodeID, net *sim.Network) *Tree {
 	depth, parent := topo.BFS(root)
+	return assembleTree(topo, root, net, depth, parent)
+}
+
+// RebuildTreeLive rebuilds old around failed nodes — the engine's
+// tree-rebuild fallback (section 7 applied to shared infrastructure). The
+// parent structure is re-derived by a BFS over the surviving subgraph from
+// root; nodes that BFS cannot reach (the failed nodes themselves and alive
+// nodes cut off behind them) keep their STALE parent edge from old: they
+// keep transmitting toward their previous parent, and sim.Transfer charges
+// the hop into the dead region without delivering it. Stale chains are
+// never rewired into phantom connectivity — a cut node's traffic is paid
+// and lost, exactly as on a real deployment. Depths are recomputed from
+// the merged parent vector so bottom-up summary passes still see children
+// strictly deeper than parents. Construction beacons are re-charged when
+// net is non-nil (failed nodes broadcast nothing).
+func RebuildTreeLive(topo *topology.Topology, old *Tree, root topology.NodeID, net *sim.Network, live *topology.Liveness) *Tree {
+	n := topo.N()
+	depth, parent := topo.BFSLive(root, live)
+	for i := 0; i < n; i++ {
+		if depth[i] < 0 && topology.NodeID(i) != root {
+			parent[i] = old.Parent[i]
+		}
+	}
+	// Merged depths: reachable nodes get their BFS depth back; stale
+	// chains are measured along the merged parent vector (a chain ending
+	// at a dead former root counts from that local root). The merge is
+	// acyclic — stale edges follow the old tree until they meet a
+	// reachable node, whose new chain stays within reachable nodes.
+	for i := range depth {
+		depth[i] = -1
+	}
+	var walk func(id topology.NodeID) int
+	walk = func(id topology.NodeID) int {
+		if depth[id] >= 0 {
+			return depth[id]
+		}
+		if parent[id] < 0 {
+			depth[id] = 0
+		} else {
+			depth[id] = walk(parent[id]) + 1
+		}
+		return depth[id]
+	}
+	for i := 0; i < n; i++ {
+		walk(topology.NodeID(i))
+	}
+	return assembleTree(topo, root, net, depth, parent)
+}
+
+// assembleTree builds the derived tree structure (children, beacons, root
+// paths, deepest-first order) from a parent/depth vector.
+func assembleTree(topo *topology.Topology, root topology.NodeID, net *sim.Network, depth []int, parent []topology.NodeID) *Tree {
 	n := topo.N()
 	t := &Tree{
 		Root:     root,

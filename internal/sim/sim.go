@@ -162,23 +162,36 @@ type Network struct {
 
 	metrics   Metrics
 	loss      *rng.Source
-	dead      []bool
+	live      *topology.Liveness
 	observer  HopObserver
 	cycleLoad []int
+	// begunCycle is the last cycle BeginCycle reset the relay queues for,
+	// so steppers sharing one network cannot double-reset within a cycle.
+	begunCycle int
 }
 
-// NewNetwork returns a network over topo with the given loss model.
-// lossSeed feeds the loss process only, keeping it independent of workload
-// randomness.
+// NewNetwork returns a network over topo with the given loss model and a
+// private liveness view. lossSeed feeds the loss process only, keeping it
+// independent of workload randomness.
 func NewNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64) *Network {
+	return NewSharedNetwork(topo, lossProb, lossSeed, topology.NewLiveness(topo.N()))
+}
+
+// NewSharedNetwork returns a network whose failure state is the given
+// liveness view. Several networks over one deployment (the engine's shared
+// infrastructure stream plus every per-query stream) share one view, so a
+// node failing is dead for all of them simultaneously; each network keeps
+// its own metrics and loss stream.
+func NewSharedNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64, live *topology.Liveness) *Network {
 	n := topo.N()
 	return &Network{
 		Topo:       topo,
 		LossProb:   lossProb,
 		MaxRetries: 3,
 		loss:       rng.New(lossSeed).Split(0xC0FFEE),
-		dead:       make([]bool, n),
+		live:       live,
 		cycleLoad:  make([]int, n),
+		begunCycle: -1,
 		metrics: Metrics{
 			NodeBytes:    make([]int64, n),
 			NodeMessages: make([]int64, n),
@@ -186,12 +199,20 @@ func NewNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64) *Net
 	}
 }
 
-// BeginCycle resets the per-cycle relay queues. Engines call it at the
-// start of every sampling cycle; it is a no-op when QueueLimit is off.
-func (n *Network) BeginCycle() {
-	if n.QueueLimit <= 0 {
+// Liveness returns the network's failure view (shared when the network
+// was built with NewSharedNetwork).
+func (n *Network) Liveness() *topology.Liveness { return n.live }
+
+// BeginCycle resets the per-cycle relay queues for the given sampling
+// cycle. Engines call it at the start of every cycle; it is a no-op when
+// QueueLimit is off, and idempotent within a cycle — repeated calls with
+// the same cycle number (steppers sharing one network each announcing the
+// cycle) reset nothing, so mid-cycle relay budgets survive.
+func (n *Network) BeginCycle(cycle int) {
+	if n.QueueLimit <= 0 || cycle == n.begunCycle {
 		return
 	}
+	n.begunCycle = cycle
 	for i := range n.cycleLoad {
 		n.cycleLoad[i] = 0
 	}
@@ -217,15 +238,16 @@ func (n *Network) ResetMetrics() {
 // SetObserver registers the snooping hook (nil disables).
 func (n *Network) SetObserver(o HopObserver) { n.observer = o }
 
-// Fail marks a node as permanently failed (section 7). Transfers through or
-// to it abort at the hop preceding it.
-func (n *Network) Fail(id topology.NodeID) { n.dead[id] = true }
+// Fail marks a node as failed (section 7) in the network's liveness view:
+// with a shared view the failure is visible to every network over the
+// deployment. Transfers through or to it abort at the hop preceding it.
+func (n *Network) Fail(id topology.NodeID) { n.live.Fail(id) }
 
 // Revive clears the failure mark.
-func (n *Network) Revive(id topology.NodeID) { n.dead[id] = false }
+func (n *Network) Revive(id topology.NodeID) { n.live.Revive(id) }
 
 // Alive reports whether id has not failed.
-func (n *Network) Alive(id topology.NodeID) bool { return !n.dead[id] }
+func (n *Network) Alive(id topology.NodeID) bool { return n.live.Alive(id) }
 
 // chargeHop accounts one transmission attempt of size bytes from node
 // `from` to node `to`.
@@ -257,18 +279,25 @@ func (n *Network) chargeHopN(from, to topology.NodeID, bytes int, kind MsgKind, 
 // MaxRetries times. It returns whether the message reached the end of the
 // path and the number of hops traversed (delivered or not).
 //
+// Failure semantics (section 7) are uniform at every hop: a failed node
+// never transmits, so a path whose sender has already failed aborts before
+// any charge; a transmission INTO a failed node is charged in full — the
+// live sender burns 1+MaxRetries attempts waiting for an ack that never
+// comes — but the message is not forwarded, so no hop beyond a failed node
+// is ever reached (which is why only path[0] needs the sender check).
+//
 // flow is optional metadata handed to the snooping observer; pass Flow{}
 // when irrelevant.
 func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKind, flow Flow) (delivered bool, hops int) {
 	if len(path) < 2 {
 		return true, 0
 	}
+	if !n.live.Alive(path[0]) {
+		return false, 0
+	}
 	size := HeaderBytes + payloadBytes
 	for i := 0; i+1 < len(path); i++ {
 		from, to := path[i], path[i+1]
-		if n.dead[from] {
-			return false, i
-		}
 		if n.QueueLimit > 0 {
 			// The sender must enqueue the message for forwarding; a full
 			// queue silently drops it (no transmission happens).
@@ -278,9 +307,9 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 				return false, i
 			}
 		}
-		if n.dead[to] {
-			// The sender transmits, discovers the next hop is gone
-			// (no ack after all retries), and aborts.
+		if !n.live.Alive(to) {
+			// Charged but not forwarded: the sender transmits, gets no
+			// ack after all retries, and aborts.
 			n.chargeHopN(from, to, size, kind, 1+n.MaxRetries)
 			n.metrics.Retransmissions += int64(n.MaxRetries)
 			n.metrics.Drops++
@@ -314,7 +343,7 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 // Broadcast charges one local broadcast of payloadBytes from id (tree
 // construction beacons, query dissemination floods).
 func (n *Network) Broadcast(id topology.NodeID, payloadBytes int, kind MsgKind) {
-	if n.dead[id] {
+	if !n.live.Alive(id) {
 		return
 	}
 	n.chargeHop(id, id, HeaderBytes+payloadBytes, kind)

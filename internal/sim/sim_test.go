@@ -256,7 +256,7 @@ func TestMsgKindString(t *testing.T) {
 func TestQueueLimitDropsExcess(t *testing.T) {
 	net := NewNetwork(chain(t), 0, 1)
 	net.QueueLimit = 2
-	net.BeginCycle()
+	net.BeginCycle(0)
 	// Node 1 relays for paths 0->2; its per-cycle budget is 2 sends.
 	okCount := 0
 	for i := 0; i < 5; i++ {
@@ -274,15 +274,102 @@ func TestQueueLimitDropsExcess(t *testing.T) {
 		t.Fatal("no queue drops recorded")
 	}
 	// A new cycle resets the budget.
-	net.BeginCycle()
+	net.BeginCycle(1)
 	if ok, _ := net.Transfer([]topology.NodeID{0, 1, 2}, 1, Data, Flow{}); !ok {
 		t.Fatal("queue budget not reset by BeginCycle")
 	}
 }
 
+// TestBeginCycleIdempotentPerCycle: two steppers sharing one network both
+// announce the cycle; the second announcement must not hand every relay a
+// fresh queue budget mid-cycle.
+func TestBeginCycleIdempotentPerCycle(t *testing.T) {
+	net := NewNetwork(chain(t), 0, 1)
+	net.QueueLimit = 2
+	net.BeginCycle(0)
+	delivered := 0
+	for i := 0; i < 4; i++ {
+		if ok, _ := net.Transfer([]topology.NodeID{0, 1}, 1, Data, Flow{}); ok {
+			delivered++
+		}
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d before re-announcement, want 2", delivered)
+	}
+	// Same cycle announced again: budgets must stay consumed.
+	net.BeginCycle(0)
+	if ok, _ := net.Transfer([]topology.NodeID{0, 1}, 1, Data, Flow{}); ok {
+		t.Fatal("repeated BeginCycle within one cycle reset the relay budget")
+	}
+	// The next cycle resets as usual.
+	net.BeginCycle(1)
+	if ok, _ := net.Transfer([]topology.NodeID{0, 1}, 1, Data, Flow{}); !ok {
+		t.Fatal("next cycle did not reset the relay budget")
+	}
+}
+
+// TestDeadNodeChargingUniform pins the documented failure semantics: a
+// transmission into a failed node is charged exactly like a hop that
+// exhausts its retries (1+MaxRetries attempts, all accounted to the live
+// sender), while a failed sender transmits nothing at any position.
+func TestDeadNodeChargingUniform(t *testing.T) {
+	topo := chain(t)
+	// Into a failed node: charged, not forwarded.
+	into := NewNetwork(topo, 0, 1)
+	into.Fail(2)
+	ok, hops := into.Transfer([]topology.NodeID{1, 2, 3}, 5, Data, Flow{})
+	if ok || hops != 0 {
+		t.Fatalf("into dead: (%v,%d), want (false,0)", ok, hops)
+	}
+	// Exhausted retries on the same hop: identical accounting.
+	lost := NewNetwork(topo, 1.0, 1)
+	lost.Transfer([]topology.NodeID{1, 2, 3}, 5, Data, Flow{})
+	mi, ml := into.Metrics(), lost.Metrics()
+	if mi.TotalBytes != ml.TotalBytes || mi.TotalMessages != ml.TotalMessages ||
+		mi.NodeBytes[1] != ml.NodeBytes[1] || mi.Retransmissions != ml.Retransmissions || mi.Drops != ml.Drops {
+		t.Fatalf("dead-hop charge %+v != retry-exhausted charge %+v", mi, ml)
+	}
+	// A failed sender is silent: no charge at all.
+	from := NewNetwork(topo, 0, 1)
+	from.Fail(1)
+	ok, hops = from.Transfer([]topology.NodeID{1, 2, 3}, 5, Data, Flow{})
+	if ok || hops != 0 || from.Metrics().TotalBytes != 0 {
+		t.Fatalf("dead sender: (%v,%d,%dB), want (false,0,0B)", ok, hops, from.Metrics().TotalBytes)
+	}
+}
+
+// TestSharedLiveness: networks built over one liveness view agree on
+// failures — the correlated-failure property the multi-query engine needs.
+func TestSharedLiveness(t *testing.T) {
+	topo := chain(t)
+	live := topology.NewLiveness(topo.N())
+	a := NewSharedNetwork(topo, 0, 1, live)
+	b := NewSharedNetwork(topo, 0, 2, live)
+	a.Fail(2)
+	if b.Alive(2) {
+		t.Fatal("failure in network a invisible to network b")
+	}
+	if ok, _ := b.Transfer([]topology.NodeID{0, 1, 2}, 1, Data, Flow{}); ok {
+		t.Fatal("network b delivered through the node failed via network a")
+	}
+	if !live.AnyDead() {
+		t.Fatal("liveness view did not record the failure")
+	}
+	b.Revive(2)
+	if !a.Alive(2) || live.AnyDead() {
+		t.Fatal("revival in network b invisible to network a")
+	}
+	// Private networks stay isolated.
+	c := NewNetwork(topo, 0, 3)
+	c.Fail(1)
+	if !a.Alive(1) {
+		t.Fatal("private network failure leaked into the shared view")
+	}
+}
+
 func TestQueueLimitDisabledByDefault(t *testing.T) {
 	net := NewNetwork(chain(t), 0, 1)
-	net.BeginCycle()
+	net.BeginCycle(0)
 	for i := 0; i < 100; i++ {
 		if ok, _ := net.Transfer([]topology.NodeID{0, 1}, 1, Data, Flow{}); !ok {
 			t.Fatal("transfer dropped with queues disabled")

@@ -145,6 +145,15 @@ func (t *Topology) AvgDegree() float64 {
 // buffers via HopsFrom (depth only) or memoize parent vectors per
 // destination via a ParentCache.
 func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
+	return t.BFSLive(src, nil)
+}
+
+// BFSLive is BFS restricted to the nodes alive in live: failed nodes are
+// never visited, so depth/parent describe shortest paths over the surviving
+// subgraph (-1 where unreachable, including behind failed cut nodes). A nil
+// live (or one with no failures) is exactly BFS; a failed src reaches
+// nothing, not even itself.
+func (t *Topology) BFSLive(src NodeID, live *Liveness) (depth []int, parent []NodeID) {
 	n := t.N()
 	depth = make([]int, n)
 	parent = make([]NodeID, n)
@@ -152,13 +161,16 @@ func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
 		depth[i] = -1
 		parent[i] = -1
 	}
+	if !live.Alive(src) {
+		return depth, parent
+	}
 	depth[src] = 0
 	queue := make([]NodeID, 1, n)
 	queue[0] = src
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		for _, v := range t.neighbors[u] {
-			if depth[v] == -1 {
+			if depth[v] == -1 && live.Alive(v) {
 				depth[v] = depth[u] + 1
 				parent[v] = u
 				queue = append(queue, v)
@@ -168,14 +180,58 @@ func (t *Topology) BFS(src NodeID) (depth []int, parent []NodeID) {
 	return depth, parent
 }
 
+// Liveness is a deployment's node-failure view (section 7): one shared
+// instance per deployment, read by the simulator, the routing substrate
+// and every per-query network, so a node that fails is dead for all of
+// them at once — correlated failure, not a per-query fiction. The zero
+// node set alive; mutation is not concurrency-safe (engines apply churn
+// between epochs, never while steppers run).
+type Liveness struct {
+	dead    []bool
+	numDead int
+}
+
+// NewLiveness returns an all-alive view over n nodes.
+func NewLiveness(n int) *Liveness {
+	return &Liveness{dead: make([]bool, n)}
+}
+
+// Fail marks id as failed. Idempotent.
+func (l *Liveness) Fail(id NodeID) {
+	if !l.dead[id] {
+		l.dead[id] = true
+		l.numDead++
+	}
+}
+
+// Revive clears the failure mark on id. Idempotent.
+func (l *Liveness) Revive(id NodeID) {
+	if l.dead[id] {
+		l.dead[id] = false
+		l.numDead--
+	}
+}
+
+// Alive reports whether id has not failed. A nil view is all-alive, so
+// liveness-optional callers need no guard.
+func (l *Liveness) Alive(id NodeID) bool { return l == nil || !l.dead[id] }
+
+// AnyDead reports whether any node is currently failed.
+func (l *Liveness) AnyDead() bool { return l != nil && l.numDead > 0 }
+
 // ParentCache memoizes one BFS parent vector per destination over an
 // immutable topology, so a loop routing many queries toward the same
 // destinations costs one traversal per distinct destination instead of
 // one per query. Vectors are identical to a fresh BFS (same lowest-parent
 // tie-breaking). Safe for concurrent use: experiment sweeps share router
 // state across worker goroutines.
+//
+// A cache built with NewLiveParentCache skips failed nodes during its
+// traversals; memoized vectors reflect liveness at computation time, so
+// owners must Invalidate after liveness changes.
 type ParentCache struct {
 	topo    *Topology
+	live    *Liveness
 	mu      sync.RWMutex
 	parents [][]NodeID
 }
@@ -183,6 +239,12 @@ type ParentCache struct {
 // NewParentCache returns an empty cache over topo.
 func NewParentCache(topo *Topology) *ParentCache {
 	return &ParentCache{topo: topo, parents: make([][]NodeID, topo.N())}
+}
+
+// NewLiveParentCache returns an empty cache whose traversals avoid nodes
+// dead in live. With live nil it is exactly NewParentCache.
+func NewLiveParentCache(topo *Topology, live *Liveness) *ParentCache {
+	return &ParentCache{topo: topo, live: live, parents: make([][]NodeID, topo.N())}
 }
 
 // Parents returns the BFS parent vector toward dst (each entry is the
@@ -198,10 +260,19 @@ func (c *ParentCache) Parents(dst NodeID) []NodeID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if p = c.parents[dst]; p == nil {
-		_, p = c.topo.BFS(dst)
+		_, p = c.topo.BFSLive(dst, c.live)
 		c.parents[dst] = p
 	}
 	return p
+}
+
+// Invalidate drops every memoized vector. Owners call it when the
+// liveness view changes (a failure or revival), since cached vectors may
+// route through nodes that have since died.
+func (c *ParentCache) Invalidate() {
+	c.mu.Lock()
+	c.parents = make([][]NodeID, c.topo.N())
+	c.mu.Unlock()
 }
 
 // HopsFrom returns the hop distance from src to every node (-1 when

@@ -199,3 +199,100 @@ func TestScaleUpSizes(t *testing.T) {
 		}
 	}
 }
+
+// TestLivenessView pins the shared liveness semantics: idempotent
+// fail/revive, nil-view all-alive, AnyDead bookkeeping.
+func TestLivenessView(t *testing.T) {
+	l := NewLiveness(4)
+	if l.AnyDead() || !l.Alive(2) {
+		t.Fatal("fresh view not all-alive")
+	}
+	l.Fail(2)
+	l.Fail(2) // idempotent
+	if l.Alive(2) || !l.AnyDead() {
+		t.Fatal("failure not recorded")
+	}
+	l.Revive(2)
+	l.Revive(2)
+	if !l.Alive(2) || l.AnyDead() {
+		t.Fatal("revival not recorded")
+	}
+	var nilView *Liveness
+	if !nilView.Alive(0) || nilView.AnyDead() {
+		t.Fatal("nil liveness must be all-alive")
+	}
+}
+
+// TestBFSLiveAvoidsDeadNodes: the filtered traversal matches BFS with no
+// failures and routes around (or reports unreachable behind) failed nodes.
+func TestBFSLiveAvoidsDeadNodes(t *testing.T) {
+	topo := Generate(Grid, 100, 1)
+	live := NewLiveness(topo.N())
+	d0, p0 := topo.BFS(Base)
+	d1, p1 := topo.BFSLive(Base, live)
+	for i := range d0 {
+		if d0[i] != d1[i] || p0[i] != p1[i] {
+			t.Fatal("BFSLive with no failures diverged from BFS")
+		}
+	}
+	// Fail a node adjacent to the base; its neighbours must route around.
+	victim := topo.Neighbors(Base)[0]
+	live.Fail(victim)
+	depth, parent := topo.BFSLive(Base, live)
+	if depth[victim] != -1 || parent[victim] != -1 {
+		t.Fatal("failed node visited")
+	}
+	for i := 0; i < topo.N(); i++ {
+		if parent[i] == victim {
+			t.Fatalf("node %d parented by the failed node", i)
+		}
+		if depth[i] >= 0 && i != int(Base) {
+			if parent[i] < 0 || depth[parent[i]] != depth[i]-1 {
+				t.Fatalf("depth inconsistency at %d", i)
+			}
+		}
+	}
+	// A dead source reaches nothing.
+	dd, _ := topo.BFSLive(victim, live)
+	for i, d := range dd {
+		if d != -1 {
+			t.Fatalf("dead source reached node %d", i)
+		}
+	}
+}
+
+// TestParentCacheInvalidate: a live cache serves stale vectors until
+// invalidated, then recomputes around the failure.
+func TestParentCacheInvalidate(t *testing.T) {
+	topo := Generate(Grid, 100, 1)
+	live := NewLiveness(topo.N())
+	c := NewLiveParentCache(topo, live)
+	far := NodeID(topo.N() - 1)
+	before := c.Parents(far)
+	// Fail the hop next to far on some chain: pick any node whose parent
+	// vector entry is non-trivial.
+	var victim NodeID = -1
+	for i, p := range before {
+		if p >= 0 && p != far && NodeID(i) != far {
+			victim = p
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no victim found")
+	}
+	live.Fail(victim)
+	if got := c.Parents(far); &got[0] != &before[0] {
+		t.Fatal("cache recomputed without Invalidate")
+	}
+	c.Invalidate()
+	after := c.Parents(far)
+	for i, p := range after {
+		if p == victim && live.Alive(NodeID(i)) {
+			t.Fatalf("post-invalidate vector still parents %d to the dead node", i)
+		}
+	}
+	if after[victim] != -1 {
+		t.Fatal("dead node still has a parent toward the destination")
+	}
+}
