@@ -359,6 +359,11 @@ type EngineConfig struct {
 	LossProb *float64
 	// Churn is the deployment's fail/revive schedule (empty = no churn).
 	Churn []ChurnEvent
+	// Workers is the number of goroutines the scheduler uses to step live
+	// queries concurrently within an epoch: 0 or 1 runs sequentially, a
+	// negative value uses every CPU core. Reports are byte-identical at
+	// any worker count; only wall-clock time changes.
+	Workers int
 }
 
 // DeploymentNodes returns the node count an engine built from this config
@@ -422,10 +427,11 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		seed = 1
 	}
 	opts := engine.Options{
-		Kind:  kind,
-		Nodes: cfg.Nodes,
-		Trees: cfg.Trees,
-		Seed:  seed,
+		Kind:    kind,
+		Nodes:   cfg.Nodes,
+		Trees:   cfg.Trees,
+		Seed:    seed,
+		Workers: cfg.Workers,
 	}
 	if cfg.LossProb != nil {
 		opts.LossProb = *cfg.LossProb

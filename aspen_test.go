@@ -1,6 +1,7 @@
 package aspen
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -197,6 +198,34 @@ func TestEngineFacade(t *testing.T) {
 	}
 	if e.Report() == nil {
 		t.Fatal("Report() nil after Run")
+	}
+}
+
+// TestEngineWorkersFacade: the facade-level worker knob preserves the
+// byte-identical guarantee — the same workload at Workers 1, 4 and -1
+// (all cores) yields identical reports.
+func TestEngineWorkersFacade(t *testing.T) {
+	run := func(workers int) *EngineReport {
+		e, err := NewEngine(EngineConfig{Seed: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, job := range engineJobs() {
+			if _, err := e.Submit(job); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, err := e.Run(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	base := run(1)
+	for _, w := range []int{4, -1} {
+		if rep := run(w); !reflect.DeepEqual(base, rep) {
+			t.Fatalf("Workers=%d report differs from sequential:\n%+v\n%+v", w, base, rep)
+		}
 	}
 }
 

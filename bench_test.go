@@ -254,14 +254,18 @@ FROM S, T [windowsize=3 sampleinterval=100]
 WHERE S.id < 40 AND T.id > 60 AND S.x = T.y + 5 AND S.u = T.u`,
 }
 
-// benchEngine runs nq concurrent queries for 30 epochs per iteration and
-// reports aggregate traffic, so the perf trajectory of the scheduler and
-// the shared substrate is on record at 1, 4 and 16 live queries.
-func benchEngine(b *testing.B, nq int) {
+// benchEngine runs nq concurrent queries for 30 epochs per iteration on
+// the given worker count and reports aggregate traffic, so the perf
+// trajectory of the scheduler and the shared substrate is on record at 1,
+// 4, 16 and 64 live queries — and the Engine16Workers/Engine16 timing
+// ratio is the measured intra-epoch parallel speedup (traffic and results
+// are byte-identical at any worker count; see
+// engine.TestWorkersByteIdentical).
+func benchEngine(b *testing.B, nq, workers int) {
 	b.ReportAllocs()
 	var bytes int64
 	for i := 0; i < b.N; i++ {
-		e := engine.New(engine.Options{Seed: uint64(i) + 1})
+		e := engine.New(engine.Options{Seed: uint64(i) + 1, Workers: workers})
 		for q := 0; q < nq; q++ {
 			if _, err := e.Submit(engine.QueryConfig{SQL: engineQueries[q%len(engineQueries)]}); err != nil {
 				b.Fatal(err)
@@ -272,9 +276,25 @@ func benchEngine(b *testing.B, nq int) {
 	b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
 }
 
-func BenchmarkEngine1(b *testing.B)  { benchEngine(b, 1) }
-func BenchmarkEngine4(b *testing.B)  { benchEngine(b, 4) }
-func BenchmarkEngine16(b *testing.B) { benchEngine(b, 16) }
+func BenchmarkEngine1(b *testing.B)  { benchEngine(b, 1, 1) }
+func BenchmarkEngine4(b *testing.B)  { benchEngine(b, 4, 1) }
+func BenchmarkEngine16(b *testing.B) { benchEngine(b, 16, 1) }
+func BenchmarkEngine64(b *testing.B) { benchEngine(b, 64, 1) }
+
+// BenchmarkEngine16Workers is BenchmarkEngine16 stepped on a worker pool:
+// workers=1 pays only the sequential path, higher counts fan the 16 live
+// queries across goroutines with per-query traffic ledgers.
+func BenchmarkEngine16Workers(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchEngine(b, 16, workers)
+		})
+	}
+}
 
 // BenchmarkSweepWorkers measures the parallel sweep runner on a
 // multi-figure experiment sweep at 1 worker vs every core: the ratio of

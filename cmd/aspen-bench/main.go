@@ -12,17 +12,31 @@
 //	aspen-bench -run engine-16,transfer  # a subset
 //	aspen-bench -compare BENCH_engine.json   # diff against the last report
 //	aspen-bench -compare BENCH_engine.json -fail-on-drift  # CI determinism gate
+//	aspen-bench -workers 4               # step engine scenarios on 4 workers
+//	aspen-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	aspen-bench -list                    # scenario names and descriptions
+//
+// Reports record runtime.NumCPU() and a per-scenario workers field;
+// -compare warns when either differs between the two reports (timing
+// ratios then reflect hardware or parallelism, not the code) instead of
+// presenting the delta as a regression. Determinism checksums are
+// worker-invariant, so the drift gate stays exact across any mismatch.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
 )
+
+// stopCPUProfile finalizes a -cpuprofile in flight; a no-op until main
+// starts one. Every os.Exit path must call it, since exits skip defers.
+var stopCPUProfile = func() {}
 
 func main() {
 	var (
@@ -31,6 +45,9 @@ func main() {
 		run         = flag.String("run", "", "comma-separated scenario names (default: all)")
 		compare     = flag.String("compare", "", "previous report to diff against (after measuring)")
 		failOnDrift = flag.Bool("fail-on-drift", false, "exit non-zero when -compare detects a determinism-checksum change (CI gate)")
+		workers     = flag.Int("workers", 0, "engine worker override for the sequential engine scenarios (0 = committed defaults; pinned -wN scenarios keep their counts)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the measured run to this file")
 		list        = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
@@ -54,6 +71,7 @@ func main() {
 	if *quick {
 		opts = bench.QuickOptions()
 	}
+	opts.Workers = *workers
 
 	var prev *bench.Report
 	if *compare != "" {
@@ -63,18 +81,49 @@ func main() {
 		}
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// Exit paths (fatal, the -fail-on-drift os.Exit) skip deferred
+		// calls, so they finalize the profile through this hook — the CI
+		// artifact must parse exactly when the run fails.
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopCPUProfile = func() {}
+		}
+		defer func() { stopCPUProfile() }()
+	}
+
 	rep, err := bench.Run(names, opts)
 	if err != nil {
 		fatal(err)
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
 	fmt.Printf("aspen-bench — %s %s/%s, %d CPUs, quick=%v\n\n",
 		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU, rep.Quick)
-	fmt.Printf("%-14s %6s %12s %12s %14s %16s\n",
-		"scenario", "iters", "ms/op", "allocs/op", "traffic KB/op", "sim MB/wall-sec")
+	fmt.Printf("%-14s %3s %6s %12s %12s %14s %16s\n",
+		"scenario", "w", "iters", "ms/op", "allocs/op", "traffic KB/op", "sim MB/wall-sec")
 	for _, r := range rep.Results {
-		fmt.Printf("%-14s %6d %12.2f %12d %14.1f %16.1f\n",
-			r.Name, r.Iterations, float64(r.NsPerOp)/1e6, r.AllocsPerOp,
+		fmt.Printf("%-14s %3d %6d %12.2f %12d %14.1f %16.1f\n",
+			r.Name, r.Workers, r.Iterations, float64(r.NsPerOp)/1e6, r.AllocsPerOp,
 			float64(r.TrafficBytesPerOp)/1024, r.SimBytesPerWallSecond/(1024*1024))
 	}
 
@@ -84,6 +133,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nvs %s:\n", *compare)
+		if msg := bench.EnvMismatch(prev, rep); msg != "" {
+			fmt.Printf("warning: %s\n", msg)
+		}
 		drift := false
 		for _, d := range deltas {
 			switch {
@@ -99,8 +151,11 @@ func main() {
 				}
 			default:
 				note := ""
+				if d.WorkersMismatch {
+					note = fmt.Sprintf("  workers %d vs %d (timing not comparable)", d.Old.Workers, d.New.Workers)
+				}
 				if d.ChecksumDrift {
-					note = "  CHECKSUM DRIFT (simulated outcome changed)"
+					note += "  CHECKSUM DRIFT (simulated outcome changed)"
 					drift = true
 				}
 				fmt.Printf("%-14s time x%.2f   allocs x%.2f%s\n", d.Name, d.NsRatio, d.AllocsRatio, note)
@@ -116,6 +171,7 @@ func main() {
 						fatal(err)
 					}
 				}
+				stopCPUProfile()
 				os.Exit(1)
 			}
 		}
@@ -131,5 +187,6 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
+	stopCPUProfile()
 	os.Exit(1)
 }

@@ -96,6 +96,7 @@ func main() {
 		nodes    = flag.Int("nodes", 100, "node count (ignored for intel)")
 		trees    = flag.Int("trees", 3, "routing trees in the shared substrate")
 		epochs   = flag.Int("epochs", 100, "scheduler epochs (sampling cycles) to run")
+		workers  = flag.Int("workers", 1, "goroutines stepping live queries per epoch (1 = sequential, -1 = all cores; output is byte-identical at any setting)")
 		seed     = flag.Uint64("seed", 1, "engine seed")
 		baseline = flag.Bool("baseline", true, "also run each query alone and report the sharing win")
 		verbose  = flag.Bool("v", false, "stream per-epoch admissions/retirements/results")
@@ -170,6 +171,7 @@ With no -f, a built-in 4-query demo workload runs.
 		Nodes:    *nodes,
 		Trees:    *trees,
 		Seed:     *seed,
+		Workers:  *workers,
 	}
 	// Seeded churn materializes against the EFFECTIVE deployment size
 	// (Intel pins 54 motes regardless of -nodes).

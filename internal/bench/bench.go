@@ -34,6 +34,11 @@ const SchemaVersion = 1
 type Scenario struct {
 	Name string
 	Desc string
+	// Workers is the engine worker count the scenario steps with (0 and 1
+	// both mean sequential). It is recorded per result so reports made at
+	// different parallelism are never silently compared as equals; the
+	// determinism checksum is worker-invariant by construction.
+	Workers int
 	// Run executes one measured iteration from fixed seeds and returns
 	// the simulated traffic in bytes plus a deterministic checksum
 	// (result counts, row sums); the checksum lets Compare detect
@@ -60,19 +65,60 @@ WHERE S.id < 40 AND T.id > 60 AND S.x = T.y + 5 AND S.u = T.u`,
 }
 
 // engineScenario measures nq concurrent queries over one shared deployment
-// for 30 epochs — the multi-query scheduler plus the In-Net hot path.
-func engineScenario(nq int) Scenario {
+// for 30 epochs — the multi-query scheduler plus the In-Net hot path —
+// stepped with the given engine worker count. The checksum (and the
+// simulated traffic) is byte-identical at every worker count, so a -wN
+// variant drifting from its sequential twin is a determinism bug, not
+// noise.
+func engineScenario(nq, pin, workers int) Scenario {
+	name := fmt.Sprintf("engine-%d", nq)
+	desc := fmt.Sprintf("%d concurrent quer%s over one shared 100-node deployment, 30 epochs", nq, plural(nq))
+	if pin > 1 {
+		name += fmt.Sprintf("-w%d", pin)
+		desc += fmt.Sprintf(", %d workers", pin)
+		workers = pin
+	}
 	return Scenario{
-		Name: fmt.Sprintf("engine-%d", nq),
-		Desc: fmt.Sprintf("%d concurrent quer%s over one shared 100-node deployment, 30 epochs", nq, plural(nq)),
+		Name:    name,
+		Desc:    desc,
+		Workers: workers,
 		Run: func() (int64, float64) {
-			e := engine.New(engine.Options{Seed: 1})
+			e := engine.New(engine.Options{Seed: 1, Workers: workers})
 			for q := 0; q < nq; q++ {
 				if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
 					panic("bench: engine scenario submit: " + err.Error())
 				}
 			}
 			rep := e.Run(30)
+			return rep.AggregateBytes, float64(rep.Results)
+		},
+	}
+}
+
+// engine1kScenario is the 1000-node engine workload (2 concurrent queries,
+// 10 epochs) at the given worker count. With only 2 live queries the
+// effective parallelism caps at 2 however many workers are requested; the
+// requested count is still what the report records.
+func engine1kScenario(pin, workers int) Scenario {
+	name := "engine-1k"
+	desc := "2 concurrent queries over one shared 1000-node Moderate Random deployment, 10 epochs"
+	if pin > 1 {
+		name += fmt.Sprintf("-w%d", pin)
+		desc += fmt.Sprintf(", %d workers (2 live queries bound the effective parallelism)", pin)
+		workers = pin
+	}
+	return Scenario{
+		Name:    name,
+		Desc:    desc,
+		Workers: workers,
+		Run: func() (int64, float64) {
+			e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: 1000, Workers: workers})
+			for q := 0; q < 2; q++ {
+				if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
+					panic("bench: engine-1k scenario submit: " + err.Error())
+				}
+			}
+			rep := e.Run(10)
 			return rep.AggregateBytes, float64(rep.Results)
 		},
 	}
@@ -102,26 +148,32 @@ func singleRunConfig(rates workload.Rates, opt *costmodel.Params, cycles int) *j
 	return join.NewConfig(topo, net, sub, spec, gen, p, cycles)
 }
 
-// Scenarios returns the fixed registry in stable order.
-func Scenarios() []Scenario {
+// Scenarios returns the fixed registry in stable order, with every
+// scenario at its committed worker count (the counts BENCH_engine.json is
+// recorded at). engine-16/engine-16-w4 and engine-1k/engine-1k-w4 are
+// same-workload twins: their wall-clock ratio is the measured parallel
+// speedup of the epoch hot path, and their checksums must be equal.
+func Scenarios() []Scenario { return scenariosAt(0) }
+
+// scenariosAt builds the registry with the unpinned engine scenarios
+// stepped at `override` workers (<= 1 keeps their committed sequential
+// default). Names never change with the override — the per-result Workers
+// field records what actually ran, and Compare warns when two reports'
+// counts differ.
+func scenariosAt(override int) []Scenario {
+	w := override
+	if w < 1 {
+		w = 1
+	}
 	return []Scenario{
-		engineScenario(1),
-		engineScenario(4),
-		engineScenario(16),
-		{
-			Name: "engine-1k",
-			Desc: "2 concurrent queries over one shared 1000-node Moderate Random deployment, 10 epochs",
-			Run: func() (int64, float64) {
-				e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: 1000})
-				for q := 0; q < 2; q++ {
-					if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
-						panic("bench: engine-1k scenario submit: " + err.Error())
-					}
-				}
-				rep := e.Run(10)
-				return rep.AggregateBytes, float64(rep.Results)
-			},
-		},
+		engineScenario(1, 0, w),
+		engineScenario(4, 0, w),
+		engineScenario(16, 0, w),
+		engineScenario(16, 4, 0),
+		engineScenario(64, 0, w),
+		engineScenario(256, 0, w),
+		engine1kScenario(0, w),
+		engine1kScenario(4, 0),
 		{
 			Name: "topo-2k",
 			Desc: "2000-node Moderate Random topology construction + base routing tree (grid-bucketed neighbor discovery)",
@@ -308,10 +360,15 @@ func Scenarios() []Scenario {
 type Result struct {
 	Name        string `json:"name"`
 	Description string `json:"description"`
-	Iterations  int    `json:"iterations"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Workers is the engine worker count the scenario was stepped with.
+	// Wall-clock numbers recorded at different worker counts (or on
+	// machines with different num_cpu) are not comparable; Compare warns
+	// on the mismatch instead of treating the timing delta as meaningful.
+	Workers     int   `json:"workers"`
+	Iterations  int   `json:"iterations"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 	// TrafficBytesPerOp is the simulated traffic of one iteration —
 	// byte-identical across machines and runs (0 where not meaningful).
 	TrafficBytesPerOp int64 `json:"traffic_bytes_per_op"`
@@ -345,6 +402,12 @@ type Options struct {
 	MinTime time.Duration
 	// Quick is recorded in the report so comparisons know the effort.
 	Quick bool
+	// Workers, when > 1, overrides the engine worker count of the
+	// default-sequential engine scenarios (aspen-bench -workers). The
+	// pinned -wN variants keep their declared counts — their names
+	// promise one. Checksums are worker-invariant, so an override can
+	// shift wall clock but never the determinism gate.
+	Workers int
 }
 
 // QuickOptions is the CI configuration: one iteration per scenario.
@@ -373,9 +436,14 @@ func measure(s Scenario, opts Options) Result {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	r := Result{
 		Name:              s.Name,
 		Description:       s.Desc,
+		Workers:           workers,
 		Iterations:        iters,
 		NsPerOp:           elapsed.Nanoseconds() / int64(iters),
 		AllocsPerOp:       int64(m1.Mallocs-m0.Mallocs) / int64(iters),
@@ -392,7 +460,7 @@ func measure(s Scenario, opts Options) Result {
 // Run measures the named scenarios (all when names is empty) and returns
 // the report. Unknown names are an error.
 func Run(names []string, opts Options) (*Report, error) {
-	all := Scenarios()
+	all := scenariosAt(opts.Workers)
 	var picked []Scenario
 	if len(names) == 0 {
 		picked = all
@@ -455,8 +523,27 @@ type Delta struct {
 	// leaner); 0 when either side is missing.
 	NsRatio, AllocsRatio float64
 	// ChecksumDrift reports a determinism change: same scenario, same
-	// seeds, different simulated outcome.
+	// seeds, different simulated outcome. Checksums are worker-invariant,
+	// so drift is drift even across a worker-count mismatch.
 	ChecksumDrift bool
+	// WorkersMismatch reports the two results ran at different engine
+	// worker counts: their wall-clock ratio measures the parallelism
+	// change, not a code change, so callers warn instead of reading
+	// NsRatio as a regression.
+	WorkersMismatch bool
+}
+
+// EnvMismatch describes why two reports' wall-clock numbers are not
+// comparable ("" when they are): recorded on Compare's environment check
+// so single-core CI numbers are never read against multi-core local runs.
+func EnvMismatch(old, new *Report) string {
+	if old.NumCPU != new.NumCPU {
+		return fmt.Sprintf("recorded on different machines: %d CPUs vs %d CPUs — timing ratios reflect hardware, not code", old.NumCPU, new.NumCPU)
+	}
+	if old.Quick != new.Quick {
+		return fmt.Sprintf("different effort: quick=%v vs quick=%v — timing ratios are noisy", old.Quick, new.Quick)
+	}
+	return ""
 }
 
 // Compare matches scenarios by name and computes ratios. It refuses
@@ -484,6 +571,14 @@ func Compare(old, new *Report) ([]Delta, error) {
 				d.AllocsRatio = float64(nr.AllocsPerOp) / float64(or.AllocsPerOp)
 			}
 			d.ChecksumDrift = or.Checksum != nr.Checksum
+			ow, nw := or.Workers, nr.Workers
+			if ow < 1 {
+				ow = 1 // reports older than the workers field read as sequential
+			}
+			if nw < 1 {
+				nw = 1
+			}
+			d.WorkersMismatch = ow != nw
 		}
 		out = append(out, d)
 	}

@@ -22,10 +22,70 @@ func TestScenarioRegistry(t *testing.T) {
 		}
 		seen[s.Name] = true
 	}
-	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-1k", "topo-2k", "churn-1k", "repair", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
+	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-16-w4", "engine-64", "engine-256", "engine-1k", "engine-1k-w4", "topo-2k", "churn-1k", "repair", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
 		if !seen[want] {
 			t.Errorf("scenario %q missing from registry", want)
 		}
+	}
+}
+
+// TestWorkersOverride: -workers retunes the unpinned engine scenarios
+// without renaming them, and never touches the pinned -wN twins.
+func TestWorkersOverride(t *testing.T) {
+	byName := map[string]Scenario{}
+	for _, s := range scenariosAt(8) {
+		byName[s.Name] = s
+	}
+	if got := byName["engine-16"].Workers; got != 8 {
+		t.Fatalf("engine-16 workers = %d under override 8", got)
+	}
+	if got := byName["engine-16-w4"].Workers; got != 4 {
+		t.Fatalf("pinned engine-16-w4 workers = %d, want 4", got)
+	}
+	if _, renamed := byName["engine-16-w8"]; renamed {
+		t.Fatal("override renamed a scenario")
+	}
+}
+
+// TestParallelTwinChecksums: the -w4 scenarios must produce the same
+// simulated traffic and checksum as their sequential twins — the
+// worker-invariance guarantee at the trajectory-file level.
+func TestParallelTwinChecksums(t *testing.T) {
+	byName := map[string]Scenario{}
+	for _, s := range Scenarios() {
+		byName[s.Name] = s
+	}
+	seqTraffic, seqCheck := byName["engine-16"].Run()
+	parTraffic, parCheck := byName["engine-16-w4"].Run()
+	if seqTraffic != parTraffic || seqCheck != parCheck {
+		t.Fatalf("engine-16 twins disagree: (%d,%f) vs (%d,%f)", seqTraffic, seqCheck, parTraffic, parCheck)
+	}
+}
+
+// TestCompareMismatchWarnings: differing num_cpu or worker counts are
+// surfaced as warnings, never as determinism drift.
+func TestCompareMismatchWarnings(t *testing.T) {
+	old := &Report{SchemaVersion: SchemaVersion, NumCPU: 1, Results: []Result{
+		{Name: "engine-16", Workers: 0, NsPerOp: 100, Checksum: 7}, // pre-field report: Workers 0 reads as 1
+	}}
+	new := &Report{SchemaVersion: SchemaVersion, NumCPU: 8, Results: []Result{
+		{Name: "engine-16", Workers: 4, NsPerOp: 25, Checksum: 7},
+	}}
+	if msg := EnvMismatch(old, new); msg == "" {
+		t.Fatal("cpu mismatch not reported")
+	}
+	if msg := EnvMismatch(old, old); msg != "" {
+		t.Fatalf("spurious env mismatch: %s", msg)
+	}
+	deltas, err := Compare(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || !deltas[0].WorkersMismatch {
+		t.Fatalf("workers mismatch not flagged: %+v", deltas)
+	}
+	if deltas[0].ChecksumDrift {
+		t.Fatal("equal checksums reported as drift across a worker mismatch")
 	}
 }
 

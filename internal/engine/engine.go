@@ -28,6 +28,9 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/costmodel"
 	"repro/internal/join"
@@ -108,6 +111,17 @@ type Options struct {
 	// per-query path repair (exploration charged once to the shared
 	// stream) and memoized-route invalidation.
 	Churn []ChurnEvent
+	// Workers caps the goroutines Step uses to run live-query sampling
+	// cycles concurrently within an epoch: 0 or 1 is fully sequential,
+	// <0 means one worker per CPU core. Output is byte-identical at any
+	// worker count — the same guarantee experiments.Config.Workers gives
+	// sweep fan-out — because every query owns its network, rng streams
+	// and join state outright, shared structures (substrate, topology,
+	// liveness) are read-only while steppers run, and each worker charges
+	// a thread-local sim.ChargeBuffer that Step merges in submission
+	// order at the epoch barrier. Admission, churn and recovery stay
+	// sequential: they mutate shared state.
+	Workers int
 }
 
 // EffectiveNodes returns the deployment size New builds for a kind/nodes
@@ -215,6 +229,10 @@ type Query struct {
 	retireEpoch int
 	lastResults int
 	result      *join.Result
+	// ledger is the query's per-epoch traffic buffer for parallel
+	// stepping (allocated lazily on the first parallel epoch, reused for
+	// the query's lifetime).
+	ledger *sim.ChargeBuffer
 }
 
 // State returns the query's lifecycle state.
@@ -257,6 +275,11 @@ type Engine struct {
 	queries []*Query
 	byID    map[string]*Query
 	epoch   int
+	// workers is the resolved Options.Workers (>= 1); stepList is the
+	// reused per-epoch scratch listing the queries that step this epoch,
+	// in submission order.
+	workers  int
+	stepList []*Query
 	// unretired counts queries not yet Retired, so the scheduler answers
 	// "anything left?" without rescanning the registry every epoch.
 	unretired int
@@ -279,14 +302,22 @@ func New(opts Options) *Engine {
 	live := topology.NewLiveness(topo.N())
 	shared := sim.NewSharedNetwork(topo, opts.LossProb, opts.Seed^0xA59E17, live)
 	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: opts.Trees}, shared)
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	e := &Engine{
-		Topo:   topo,
-		Nodes:  nodes,
-		Sub:    sub,
-		opts:   opts,
-		shared: shared,
-		live:   live,
-		byID:   map[string]*Query{},
+		Topo:    topo,
+		Nodes:   nodes,
+		Sub:     sub,
+		opts:    opts,
+		shared:  shared,
+		live:    live,
+		byID:    map[string]*Query{},
+		workers: workers,
 	}
 	if len(opts.Churn) > 0 {
 		e.churnAt = make(map[int][]ChurnEvent)
@@ -457,8 +488,15 @@ func (e *Engine) applyChurn(epoch int) (failed []topology.NodeID, repaired, fall
 
 // Step runs one scheduler epoch: admissions due this epoch, then the
 // epoch's churn events plus engine-wide failure recovery, then one
-// sampling cycle of every live query (in submission order), then
-// retirements. It reports whether any query is still pending or live.
+// sampling cycle of every live query, then the deterministic merge of
+// per-query accounting (in submission order) and retirements. It reports
+// whether any query is still pending or live.
+//
+// With Options.Workers > 1 the sampling cycles run concurrently on a
+// worker pool (see stepLive); everything before and after the parallel
+// section — admission, churn, recovery, ledger merge, result deltas,
+// retirement, the OnEpoch hook — is sequential and in submission order,
+// so the epoch's observable output is byte-identical at any worker count.
 //
 // The EpochStats value (and its NewResults map) is only materialized when
 // an OnEpoch hook is registered, so headless runs pay no per-epoch
@@ -486,18 +524,22 @@ func (e *Engine) Step() bool {
 			stats.Fallbacks = fallbacks
 		}
 	}
-	live := 0
+	e.stepList = e.stepList[:0]
 	for _, q := range e.queries {
-		if q.state != Live {
-			continue
+		if q.state == Live {
+			e.stepList = append(e.stepList, q)
 		}
-		live++
-		q.stepper.Step(epoch - q.admitEpoch)
-		if d := q.stepper.Results() - q.lastResults; d > 0 {
-			if track {
-				stats.NewResults[q.ID] = d
-			}
-			q.lastResults += d
+	}
+	e.stepLive(epoch, e.stepList)
+	// Epoch barrier: every stepper has finished its cycle. Accounting —
+	// ledger merges (done inside stepLive), result deltas, retirements —
+	// runs sequentially in submission order.
+	for _, q := range e.stepList {
+		r := q.stepper.Results()
+		d := r - q.lastResults
+		q.lastResults = r
+		if track && d > 0 {
+			stats.NewResults[q.ID] = d
 		}
 		if q.Cycles > 0 && epoch-q.admitEpoch+1 >= q.Cycles {
 			e.retire(q, epoch+1)
@@ -508,10 +550,64 @@ func (e *Engine) Step() bool {
 	}
 	e.epoch++
 	if track {
-		stats.Live = live
+		stats.Live = len(e.stepList)
 		e.OnEpoch(stats)
 	}
 	return e.unretired > 0
+}
+
+// stepLive runs one sampling cycle of every query in qs. With one worker
+// (or one query) it is a plain sequential loop charging each query's
+// network directly. With more, the queries fan out over a pool of
+// goroutines: each query's cycle runs entirely on one worker, charging a
+// per-query sim.ChargeBuffer instead of its network's counters, and the
+// buffers merge into the per-query networks in submission order once the
+// pool drains. The merge makes the parallel path byte-identical to the
+// sequential one: every query owns its rng streams (loss, sampler), its
+// join/window state and its network; shared structures — routing
+// substrate, topology, parent caches, the deployment liveness view — are
+// only read while steppers run (churn and admission mutate them strictly
+// outside this section); and shared-substrate traffic is charged on the
+// shared stream by the sequential sections exactly once, never through a
+// worker's ledger.
+func (e *Engine) stepLive(epoch int, qs []*Query) {
+	workers := e.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for _, q := range qs {
+			q.stepper.Step(epoch - q.admitEpoch)
+		}
+		return
+	}
+	n := e.Topo.N()
+	for _, q := range qs {
+		if q.ledger == nil {
+			q.ledger = sim.NewChargeBuffer(n)
+		}
+		q.net.AttachLedger(q.ledger)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				qs[i].stepper.Step(epoch - qs[i].admitEpoch)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, q := range qs {
+		q.net.DetachLedger()
+		q.net.MergeLedger(q.ledger)
+	}
 }
 
 // Run executes `epochs` scheduler epochs, then drains: every query still

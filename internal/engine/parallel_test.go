@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/topology"
+)
+
+// workerCounts is the property-test grid: sequential, under-, at- and
+// over-subscribed pools.
+var workerCounts = []int{1, 2, 4, 8}
+
+// mixedRun executes a mixed workload — every continuous algorithm family,
+// staggered admissions, mid-run retirements — at the given worker count
+// and returns the report plus the captured per-epoch stream.
+func mixedRun(t *testing.T, workers int, churn []ChurnEvent) (*Report, []EpochStats) {
+	t.Helper()
+	e := New(Options{Seed: 7, Workers: workers, Churn: churn})
+	submissions := []QueryConfig{
+		{ID: "innet", SQL: q1SQL(t), Cycles: 18},
+		{ID: "plain", SQL: q2SQL(t), Algorithm: join.Innet{}, AdmitAt: 2},
+		{ID: "naive", SQL: q1SQL(t), Algorithm: join.Naive{}, Cycles: 10, AdmitAt: 1},
+		{ID: "base", SQL: q2SQL(t), Algorithm: join.Base{}, AdmitAt: 4},
+		{ID: "yang", SQL: q1SQL(t), Algorithm: join.Yang07{}, Cycles: 12, AdmitAt: 3},
+		{ID: "cmpg", SQL: q1SQL(t), Algorithm: join.Innet{Opts: join.InnetOptions{
+			Multicast: true, PathCollapse: true, GroupOpt: true}}, AdmitAt: 5},
+	}
+	for _, qc := range submissions {
+		if _, err := e.Submit(qc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stream []EpochStats
+	e.OnEpoch = func(s EpochStats) { stream = append(stream, s) }
+	return e.Run(20), stream
+}
+
+// TestWorkersByteIdentical is the tentpole's determinism property: the
+// same workload stepped at any worker count yields byte-identical reports,
+// traffic totals and per-epoch streams.
+func TestWorkersByteIdentical(t *testing.T) {
+	baseRep, baseStream := mixedRun(t, 1, nil)
+	if baseRep.Results == 0 || baseRep.QueryBytes == 0 {
+		t.Fatal("baseline run produced no work to compare")
+	}
+	for _, w := range workerCounts[1:] {
+		rep, stream := mixedRun(t, w, nil)
+		if !reflect.DeepEqual(baseRep, rep) {
+			t.Fatalf("workers=%d report differs from sequential:\n%+v\n%+v", w, baseRep, rep)
+		}
+		if !reflect.DeepEqual(baseStream, stream) {
+			t.Fatalf("workers=%d epoch stream differs from sequential", w)
+		}
+	}
+	// Workers < 0 (all cores) is also on the identity surface.
+	rep, _ := mixedRun(t, -1, nil)
+	if !reflect.DeepEqual(baseRep, rep) {
+		t.Fatal("workers=-1 (NumCPU) report differs from sequential")
+	}
+}
+
+// TestWorkersChurnByteIdentical runs the bench churn-1k workload shape —
+// two queries over a 1000-node deployment under a seeded churn schedule
+// plus probe-selected path/join-node victims — at every worker count and
+// requires identical recovery accounting. Churn and repair mutate shared
+// state, so this is the test that pins them to the sequential sections.
+func TestWorkersChurnByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-node churn grid is slow")
+	}
+	const nodes = 1000
+	sql := []string{q1SQL(t), q2SQL(t)}
+	mk := func(workers int, churn []ChurnEvent) *Engine {
+		e := New(Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: nodes, Workers: workers, Churn: churn})
+		for i, src := range sql {
+			if _, err := e.Submit(QueryConfig{ID: []string{"a", "b"}[i], SQL: src}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	// Probe for victims exactly like the churn-1k scenario: one
+	// intermediate path hop (repairs in-network) and one join node (falls
+	// back to the base).
+	probe := mk(1, nil)
+	probe.Run(6)
+	var mid, joinNode topology.NodeID = -1, -1
+	for _, q := range probe.Queries() {
+		res := q.Result()
+		for i, p := range res.PairPaths {
+			j := res.PairJoinNodes[i]
+			if mid < 0 {
+				for _, id := range p[1 : len(p)-1] {
+					if id != j {
+						mid = id
+						break
+					}
+				}
+			}
+			if mid >= 0 && j != mid {
+				joinNode = j
+			}
+			if mid >= 0 && joinNode >= 0 {
+				break
+			}
+		}
+	}
+	if mid < 0 || joinNode < 0 {
+		t.Fatal("probe found no churn victims")
+	}
+	churn := append(SeededChurn(7, nodes, 12, 0.0005, 0),
+		ChurnEvent{Epoch: 3, Node: mid},
+		ChurnEvent{Epoch: 6, Node: joinNode})
+	base := mk(1, churn).Run(12)
+	if base.FailedNodes == 0 || base.PathsRepaired == 0 || base.BaseFallbacks == 0 {
+		t.Fatalf("churn run lost its recovery coverage: %+v", base)
+	}
+	for _, w := range workerCounts[1:] {
+		rep := mk(w, churn).Run(12)
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("workers=%d churn report differs from sequential:\nfailed=%d/%d repaired=%d/%d shared=%d/%d aggregate=%d/%d",
+				w, rep.FailedNodes, base.FailedNodes, rep.PathsRepaired, base.PathsRepaired,
+				rep.SharedBytes, base.SharedBytes, rep.AggregateBytes, base.AggregateBytes)
+		}
+	}
+}
+
+// TestWorkersTrafficExactlyOnce: the ledger merge must neither drop nor
+// duplicate charges — per-query totals and the shared stream agree with
+// the sequential run, and the aggregate identity holds.
+func TestWorkersTrafficExactlyOnce(t *testing.T) {
+	seq, _ := mixedRun(t, 1, nil)
+	par, _ := mixedRun(t, 4, nil)
+	if seq.SharedBytes != par.SharedBytes {
+		t.Fatalf("shared-substrate traffic differs: %d vs %d", seq.SharedBytes, par.SharedBytes)
+	}
+	for i := range seq.Queries {
+		a, b := seq.Queries[i], par.Queries[i]
+		if a.TotalBytes != b.TotalBytes || a.TotalMessages != b.TotalMessages {
+			t.Fatalf("query %s traffic differs: %d/%d vs %d/%d bytes/messages",
+				a.ID, a.TotalBytes, a.TotalMessages, b.TotalBytes, b.TotalMessages)
+		}
+	}
+	var sum int64
+	for _, q := range par.Queries {
+		sum += q.TotalBytes
+	}
+	if par.AggregateBytes != par.SharedBytes+sum {
+		t.Fatalf("aggregate %d != shared %d + queries %d", par.AggregateBytes, par.SharedBytes, sum)
+	}
+}
+
+// TestOnEpochHookMidRun: an OnEpoch hook registered mid-run sees exactly
+// the epochs it was present for — the NewResults delta of its first epoch
+// must match a hook-from-the-start run's, not the whole backlog.
+func TestOnEpochHookMidRun(t *testing.T) {
+	run := func(hookAt int) []EpochStats {
+		e := New(Options{Seed: 7})
+		if _, err := e.Submit(QueryConfig{SQL: q1SQL(t)}); err != nil {
+			t.Fatal(err)
+		}
+		var stream []EpochStats
+		for i := 0; i < 15; i++ {
+			if i == hookAt {
+				e.OnEpoch = func(s EpochStats) { stream = append(stream, s) }
+			}
+			e.Step()
+		}
+		return stream
+	}
+	full := run(0)
+	late := run(8)
+	if len(full) != 15 || len(late) != 7 {
+		t.Fatalf("stream lengths %d/%d, want 15/7", len(full), len(late))
+	}
+	if !reflect.DeepEqual(full[8:], late) {
+		t.Fatalf("late-registered hook sees different epochs:\nfull[8:] = %+v\nlate     = %+v", full[8:], late)
+	}
+}

@@ -110,6 +110,22 @@ type Algorithm interface {
 // already run initiation; the caller drives sampling cycles one at a time,
 // which lets an external scheduler (internal/engine) interleave many
 // queries over one deployment epoch by epoch.
+//
+// Concurrency contract (audited for every stepper in this package, and
+// what lets internal/engine step independent queries on parallel workers):
+// Step confines writes to state the query owns — its Config.Net (metrics,
+// loss stream, relay queues), its sampler, its window/join state, its pair
+// and multicast bookkeeping, dense per-cycle scratch — and performs only
+// reads of shared structures (routing.Substrate tables and cached root
+// paths, topology adjacency, the deployment Liveness view). Anything that
+// mutates shared state is confined to Start (e.g. dht.Ring route
+// memoization, filled while admission is sequential) or to the
+// FailureRecoverer hook, which the engine invokes only from its sequential
+// churn phase. The Config.FailNode injection is the one exception: it
+// mutates the network's liveness view from inside Step, so it is a
+// single-query facility — schedulers stepping queries concurrently must
+// use engine-level churn instead (internal/engine always leaves it
+// disabled).
 type Stepper interface {
 	// Step executes one sampling cycle. cycle counts from 0 at the
 	// query's admission and must increase by 1 per call.

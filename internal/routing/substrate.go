@@ -91,6 +91,12 @@ func (e Entry) ScalarSizeBytes() int {
 // path search's subtree pruning becomes a hash lookup per visited edge.
 // With columns, construction appends n summaries per indexed attribute and
 // pruning indexes a slice.
+//
+// Concurrency: reads (PathToBase, DepthToBase, BestTreePath, FindTargets,
+// Entry lookups) are safe from concurrent goroutines as long as no
+// mutation — ExtendIndexes, ExtendPositionIndex, RepairTrees — runs at the
+// same time. internal/engine upholds this by confining every mutation to
+// its sequential admission/churn phases while parallel workers only read.
 type Substrate struct {
 	Topo  *topology.Topology
 	Trees []*Tree

@@ -85,6 +85,11 @@ func (p Path) Concat(q Path) Path {
 // Tree is one rooted routing tree: the standard TinyDB-style construction
 // (BFS from the root over radio links, ties broken to the lowest node ID so
 // construction is deterministic).
+//
+// A Tree is immutable after construction (repair builds a replacement via
+// RebuildTreeLive), so all reads — Parent/Depth/Children, the cached
+// PathToRoot slices, DeepFirst — are safe from concurrent goroutines; the
+// engine's parallel query stepping relies on this.
 type Tree struct {
 	Root     topology.NodeID
 	Parent   []topology.NodeID // -1 at the root

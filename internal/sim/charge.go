@@ -1,0 +1,97 @@
+package sim
+
+// ChargeBuffer is a detached traffic ledger: a full Metrics accumulator a
+// Network can be pointed at for the duration of a bounded section, so the
+// section's charges land in the buffer instead of the network's
+// authoritative counters. internal/engine uses one buffer per live query to
+// step queries on parallel workers — each worker charges its thread-local
+// buffer race-free — and merges the buffers into the per-query networks in
+// submission order at the epoch barrier. Merging is pure addition, so the
+// final counters are byte-identical to direct charging regardless of worker
+// count or merge order, and anything charged OUTSIDE a buffered section
+// (the engine's shared-substrate traffic: tree construction, index
+// dissemination, churn repair) is charged exactly once on the network it
+// was issued against, never duplicated into a ledger.
+//
+// A ChargeBuffer buffers accounting only. Transfer's loss draws, liveness
+// checks and relay-queue state still run against the owning network, so a
+// buffered section observes exactly the semantics of direct charging —
+// including the dead-node retry rule (a transfer into a failed node charges
+// 1+MaxRetries attempts) and per-cycle queue overflow.
+type ChargeBuffer struct {
+	m Metrics
+}
+
+// NewChargeBuffer returns an empty ledger over a deployment of n nodes.
+func NewChargeBuffer(n int) *ChargeBuffer {
+	return &ChargeBuffer{m: Metrics{
+		NodeBytes:    make([]int64, n),
+		NodeMessages: make([]int64, n),
+	}}
+}
+
+// Reset zeroes the ledger for reuse (merges reset implicitly; an explicit
+// Reset discards a section's charges instead of applying them).
+func (b *ChargeBuffer) Reset() {
+	for i := range b.m.NodeBytes {
+		b.m.NodeBytes[i] = 0
+		b.m.NodeMessages[i] = 0
+	}
+	b.m = Metrics{NodeBytes: b.m.NodeBytes, NodeMessages: b.m.NodeMessages}
+}
+
+// TotalBytes returns the bytes accumulated since the last reset/merge.
+func (b *ChargeBuffer) TotalBytes() int64 { return b.m.TotalBytes }
+
+// Add folds o's counters into m — the ledger-merge primitive. Addition is
+// commutative and associative, so merging any partition of a charge stream
+// in any order yields identical totals.
+func (m *Metrics) Add(o *Metrics) {
+	m.TotalBytes += o.TotalBytes
+	m.TotalMessages += o.TotalMessages
+	m.BaseBytes += o.BaseBytes
+	m.BaseMessages += o.BaseMessages
+	for i, b := range o.NodeBytes {
+		m.NodeBytes[i] += b
+	}
+	for i, c := range o.NodeMessages {
+		m.NodeMessages[i] += c
+	}
+	for k, b := range o.ByKind {
+		m.ByKind[k] += b
+	}
+	m.Drops += o.Drops
+	m.Retransmissions += o.Retransmissions
+	m.QueueDrops += o.QueueDrops
+}
+
+// AttachLedger redirects the network's accounting into b until
+// DetachLedger. While attached, the caller owns the network exclusively
+// (one goroutine): Transfer/Broadcast charge b, and the authoritative
+// Metrics must not be read or reset. Panics when b is sized for a
+// different deployment or a ledger is already attached.
+func (n *Network) AttachLedger(b *ChargeBuffer) {
+	if len(b.m.NodeBytes) != len(n.metrics.NodeBytes) {
+		panic("sim: ChargeBuffer sized for a different deployment")
+	}
+	if n.acct != &n.metrics {
+		panic("sim: a ledger is already attached")
+	}
+	n.acct = &b.m
+}
+
+// DetachLedger restores direct charging. The buffered charges stay in the
+// ledger until MergeLedger applies them.
+func (n *Network) DetachLedger() {
+	n.acct = &n.metrics
+}
+
+// MergeLedger folds b into the network's authoritative metrics and resets
+// b for reuse. Callers sequence merges (the engine merges per-query
+// ledgers in submission order at the epoch barrier); the totals are
+// merge-order independent, the sequencing is what makes the accounting
+// auditable.
+func (n *Network) MergeLedger(b *ChargeBuffer) {
+	n.metrics.Add(&b.m)
+	b.Reset()
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// chargeScript drives a fixed mixed traffic pattern — multi-hop transfers
+// of every kind, a broadcast, a transfer into a dead node — against net.
+// Identical scripts on identically-seeded networks charge identical
+// draws, which is what lets the tests compare buffered and direct runs.
+func chargeScript(net *Network) {
+	net.Transfer([]topology.NodeID{3, 2, 1, 0}, 10, Data, Flow{})
+	net.Transfer([]topology.NodeID{0, 1, 2}, 4, Control, Flow{})
+	net.Broadcast(1, 6, Control)
+	net.Transfer([]topology.NodeID{2, 1, 0}, 12, Result, Flow{})
+}
+
+func TestChargeBufferMatchesDirectCharging(t *testing.T) {
+	topo := chain(t)
+	direct := NewNetwork(topo, 0.3, 99)
+	buffered := NewNetwork(topo, 0.3, 99)
+
+	chargeScript(direct)
+
+	buf := NewChargeBuffer(topo.N())
+	buffered.AttachLedger(buf)
+	chargeScript(buffered)
+	if got := buffered.Metrics().TotalBytes; got != 0 {
+		t.Fatalf("buffered section leaked %d bytes into authoritative metrics", got)
+	}
+	if buf.TotalBytes() == 0 {
+		t.Fatal("ledger accumulated nothing")
+	}
+	buffered.DetachLedger()
+	buffered.MergeLedger(buf)
+
+	if !reflect.DeepEqual(direct.Metrics(), buffered.Metrics()) {
+		t.Fatalf("buffered+merged metrics differ from direct charging:\n%+v\n%+v",
+			direct.Metrics(), buffered.Metrics())
+	}
+	if buf.TotalBytes() != 0 {
+		t.Fatal("MergeLedger did not reset the ledger")
+	}
+}
+
+// TestChargeBufferMergeOrderIndependent: partitioning one charge stream
+// across ledgers and merging them in any order yields identical totals.
+func TestChargeBufferMergeOrderIndependent(t *testing.T) {
+	topo := chain(t)
+	run := func(mergeBA bool) *Metrics {
+		net := NewNetwork(topo, 0, 1)
+		a, b := NewChargeBuffer(topo.N()), NewChargeBuffer(topo.N())
+		net.AttachLedger(a)
+		net.Transfer([]topology.NodeID{3, 2, 1, 0}, 10, Data, Flow{})
+		net.DetachLedger()
+		net.AttachLedger(b)
+		net.Transfer([]topology.NodeID{0, 1}, 20, Result, Flow{})
+		net.Broadcast(2, 8, Control)
+		net.DetachLedger()
+		if mergeBA {
+			net.MergeLedger(b)
+			net.MergeLedger(a)
+		} else {
+			net.MergeLedger(a)
+			net.MergeLedger(b)
+		}
+		return net.Metrics()
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("merge order changed the totals")
+	}
+}
+
+// TestChargeBufferSharedChargedOnce: charges issued OUTSIDE any buffered
+// section (the engine's shared-substrate traffic) land on the network
+// exactly once, no matter how many ledgers are attached, detached and
+// merged around them.
+func TestChargeBufferSharedChargedOnce(t *testing.T) {
+	topo := chain(t)
+	net := NewNetwork(topo, 0, 1)
+	shared := []topology.NodeID{0, 1, 2, 3}
+	net.Transfer(shared, 10, Control, Flow{}) // shared charge, pre-section
+	want := net.Metrics().TotalBytes
+	for i := 0; i < 3; i++ {
+		buf := NewChargeBuffer(topo.N())
+		net.AttachLedger(buf)
+		net.Transfer([]topology.NodeID{1, 2}, 5, Data, Flow{})
+		net.DetachLedger()
+		net.MergeLedger(buf)
+	}
+	perSection := int64(3 * (HeaderBytes + 5))
+	if got := net.Metrics().TotalBytes; got != want+perSection {
+		t.Fatalf("TotalBytes = %d, want shared %d charged once + %d buffered", got, want, perSection)
+	}
+	if got := net.Metrics().ByKind[Control]; got != want {
+		t.Fatalf("control bytes = %d, want the pre-section charge %d exactly once", got, want)
+	}
+}
+
+// TestChargeBufferDeadNodeRetries: a buffered transfer into a failed node
+// burns 1+MaxRetries unacked attempts, exactly like direct charging.
+func TestChargeBufferDeadNodeRetries(t *testing.T) {
+	topo := chain(t)
+	direct := NewNetwork(topo, 0, 1)
+	buffered := NewNetwork(topo, 0, 1)
+	direct.Fail(2)
+	buffered.Fail(2)
+
+	direct.Transfer([]topology.NodeID{0, 1, 2, 3}, 10, Data, Flow{})
+
+	buf := NewChargeBuffer(topo.N())
+	buffered.AttachLedger(buf)
+	ok, hops := buffered.Transfer([]topology.NodeID{0, 1, 2, 3}, 10, Data, Flow{})
+	if ok || hops != 1 {
+		t.Fatalf("Transfer into dead node = (%v, %d), want (false, 1)", ok, hops)
+	}
+	buffered.DetachLedger()
+	buffered.MergeLedger(buf)
+
+	dm, bm := direct.Metrics(), buffered.Metrics()
+	if !reflect.DeepEqual(dm, bm) {
+		t.Fatalf("dead-node semantics differ buffered vs direct:\n%+v\n%+v", dm, bm)
+	}
+	wantAttempts := int64(1 + 1 + direct.MaxRetries) // 0->1 delivered, 1->2 unacked retries
+	if bm.TotalMessages != wantAttempts || bm.Retransmissions != int64(direct.MaxRetries) || bm.Drops != 1 {
+		t.Fatalf("attempts/retries/drops = %d/%d/%d, want %d/%d/1",
+			bm.TotalMessages, bm.Retransmissions, bm.Drops, wantAttempts, direct.MaxRetries)
+	}
+}
+
+// TestChargeBufferAttachValidation: mis-sized ledgers and double attach
+// are programming errors, caught loudly.
+func TestChargeBufferAttachValidation(t *testing.T) {
+	net := NewNetwork(chain(t), 0, 1)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("mis-sized ledger", func() { net.AttachLedger(NewChargeBuffer(2)) })
+	net.AttachLedger(NewChargeBuffer(net.Topo.N()))
+	mustPanic("double attach", func() { net.AttachLedger(NewChargeBuffer(net.Topo.N())) })
+}

@@ -160,7 +160,11 @@ type Network struct {
 	// queues overflow almost immediately"). Zero disables the model.
 	QueueLimit int
 
-	metrics   Metrics
+	metrics Metrics
+	// acct is the accounting sink every charge lands in: &metrics
+	// normally, an attached ChargeBuffer's metrics during a buffered
+	// section (see AttachLedger).
+	acct      *Metrics
 	loss      *rng.Source
 	live      *topology.Liveness
 	observer  HopObserver
@@ -184,7 +188,7 @@ func NewNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64) *Net
 // its own metrics and loss stream.
 func NewSharedNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64, live *topology.Liveness) *Network {
 	n := topo.N()
-	return &Network{
+	nw := &Network{
 		Topo:       topo,
 		LossProb:   lossProb,
 		MaxRetries: 3,
@@ -197,6 +201,8 @@ func NewSharedNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64
 			NodeMessages: make([]int64, n),
 		},
 	}
+	nw.acct = &nw.metrics
+	return nw
 }
 
 // Liveness returns the network's failure view (shared when the network
@@ -261,15 +267,16 @@ func (n *Network) chargeHop(from, to topology.NodeID, bytes int, kind MsgKind) {
 // the retransmission loop in Transfer touches each metric once per hop
 // instead of once per attempt.
 func (n *Network) chargeHopN(from, to topology.NodeID, bytes int, kind MsgKind, attempts int) {
+	acct := n.acct
 	total := int64(bytes) * int64(attempts)
-	n.metrics.TotalBytes += total
-	n.metrics.TotalMessages += int64(attempts)
-	n.metrics.NodeBytes[from] += total
-	n.metrics.NodeMessages[from] += int64(attempts)
-	n.metrics.ByKind[kind] += total
+	acct.TotalBytes += total
+	acct.TotalMessages += int64(attempts)
+	acct.NodeBytes[from] += total
+	acct.NodeMessages[from] += int64(attempts)
+	acct.ByKind[kind] += total
 	if from == topology.Base || to == topology.Base {
-		n.metrics.BaseBytes += total
-		n.metrics.BaseMessages += int64(attempts)
+		acct.BaseBytes += total
+		acct.BaseMessages += int64(attempts)
 	}
 }
 
@@ -303,7 +310,7 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 			// queue silently drops it (no transmission happens).
 			n.cycleLoad[from]++
 			if n.cycleLoad[from] > n.QueueLimit {
-				n.metrics.QueueDrops++
+				n.acct.QueueDrops++
 				return false, i
 			}
 		}
@@ -311,8 +318,8 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 			// Charged but not forwarded: the sender transmits, gets no
 			// ack after all retries, and aborts.
 			n.chargeHopN(from, to, size, kind, 1+n.MaxRetries)
-			n.metrics.Retransmissions += int64(n.MaxRetries)
-			n.metrics.Drops++
+			n.acct.Retransmissions += int64(n.MaxRetries)
+			n.acct.Drops++
 			return false, i
 		}
 		// Draw the loss process exactly as before (one draw per attempt,
@@ -328,9 +335,9 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 			}
 		}
 		n.chargeHopN(from, to, size, kind, attempts)
-		n.metrics.Retransmissions += int64(attempts - 1)
+		n.acct.Retransmissions += int64(attempts - 1)
 		if !ok {
-			n.metrics.Drops++
+			n.acct.Drops++
 			return false, i + 1
 		}
 		if n.observer != nil {

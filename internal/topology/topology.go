@@ -185,7 +185,9 @@ func (t *Topology) BFSLive(src NodeID, live *Liveness) (depth []int, parent []No
 // and every per-query network, so a node that fails is dead for all of
 // them at once — correlated failure, not a per-query fiction. The zero
 // node set alive; mutation is not concurrency-safe (engines apply churn
-// between epochs, never while steppers run).
+// between epochs, never while steppers run), while concurrent Alive
+// reads with no mutation in flight are safe — the engine's parallel
+// workers all read this one view.
 type Liveness struct {
 	dead    []bool
 	numDead int
