@@ -14,6 +14,7 @@ package aspen
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/costmodel"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ght"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -364,6 +366,17 @@ type EngineConfig struct {
 	// negative value uses every CPU core. Reports are byte-identical at
 	// any worker count; only wall-clock time changes.
 	Workers int
+	// Metrics enables the engine's metrics registry: lifecycle counters,
+	// churn recovery tallies, per-traffic-class byte gauges, join-state
+	// sizes and epoch/phase wall-time histograms, readable at any time via
+	// Engine.Snapshot. Observation never feeds back into execution — a
+	// metered run's report is byte-identical to an unmetered one.
+	Metrics bool
+	// Trace enables the epoch trace recorder: scheduler-phase and
+	// per-query spans exportable with Engine.WriteTrace (Chrome
+	// trace_event form, loadable in chrome://tracing) or
+	// Engine.WriteTraceJSONL. Same non-interference guarantee as Metrics.
+	Trace bool
 }
 
 // DeploymentNodes returns the node count an engine built from this config
@@ -410,8 +423,10 @@ type QueryJob struct {
 // instead of once per query. Create with NewEngine, add queries with
 // Submit, execute with Run, inspect with Report.
 type Engine struct {
-	eng  *engine.Engine
-	seed uint64
+	eng    *engine.Engine
+	seed   uint64
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // NewEngine builds the shared deployment and its routing substrate; the
@@ -433,6 +448,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Seed:    seed,
 		Workers: cfg.Workers,
 	}
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if cfg.Metrics {
+		reg = obs.NewRegistry()
+		opts.Obs = reg
+	}
+	if cfg.Trace {
+		tracer = obs.NewTracer()
+		opts.Trace = tracer
+	}
 	if cfg.LossProb != nil {
 		opts.LossProb = *cfg.LossProb
 		opts.Lossless = *cfg.LossProb == 0
@@ -446,7 +471,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			Epoch: ev.Epoch, Node: topology.NodeID(ev.Node), Revive: ev.Revive,
 		})
 	}
-	return &Engine{eng: engine.New(opts), seed: seed}, nil
+	return &Engine{eng: engine.New(opts), seed: seed, reg: reg, tracer: tracer}, nil
 }
 
 // Submit compiles and registers a query, returning its report ID. It may
@@ -497,6 +522,9 @@ func (e *Engine) Submit(job QueryJob) (string, error) {
 }
 
 // EpochStats streams one scheduler epoch's events to an OnEpoch hook.
+//
+// The NewResults map is only valid during the callback — the engine
+// reuses it across epochs. Hooks that retain stats must clone it.
 type EpochStats struct {
 	// Epoch is the epoch that just ran; Live the number of queries that
 	// stepped.
@@ -504,13 +532,15 @@ type EpochStats struct {
 	// Admitted / Retired list query IDs that changed state this epoch.
 	Admitted, Retired []string
 	// NewResults maps query ID to join results delivered this epoch
-	// (queries with no new results are absent).
+	// (queries with no new results are absent). Valid only during the
+	// callback — see the struct comment.
 	NewResults map[string]int
 	// Failed lists node IDs the churn schedule failed this epoch;
 	// Repaired / Fallbacks count paths rerouted in-network vs pairs
-	// switched to the base station by the recovery pass.
-	Failed              []int
-	Repaired, Fallbacks int
+	// switched to the base station by the recovery pass, and TreesRebuilt
+	// the substrate routing trees rebuilt around the failures.
+	Failed                            []int
+	Repaired, Fallbacks, TreesRebuilt int
 }
 
 // OnEpoch registers a hook streamed after every scheduler epoch (nil
@@ -522,19 +552,124 @@ func (e *Engine) OnEpoch(fn func(EpochStats)) {
 	}
 	e.eng.OnEpoch = func(s engine.EpochStats) {
 		out := EpochStats{
-			Epoch:      s.Epoch,
-			Live:       s.Live,
-			Admitted:   s.Admitted,
-			Retired:    s.Retired,
-			NewResults: s.NewResults,
-			Repaired:   s.Repaired,
-			Fallbacks:  s.Fallbacks,
+			Epoch:        s.Epoch,
+			Live:         s.Live,
+			Admitted:     s.Admitted,
+			Retired:      s.Retired,
+			NewResults:   s.NewResults,
+			Repaired:     s.Repaired,
+			Fallbacks:    s.Fallbacks,
+			TreesRebuilt: s.TreesRebuilt,
 		}
 		for _, id := range s.Failed {
 			out.Failed = append(out.Failed, int(id))
 		}
 		fn(out)
 	}
+}
+
+// Metric is one counter or gauge reading in a MetricsSnapshot.
+type Metric struct {
+	Name  string
+	Value int64
+}
+
+// HistogramMetric is one histogram's state in a MetricsSnapshot: Counts
+// has one entry per Bounds bound plus a final overflow bucket.
+type HistogramMetric struct {
+	Name     string
+	Bounds   []int64
+	Counts   []int64
+	Count    int64
+	Sum      int64
+	Min, Max int64
+}
+
+// Mean returns the average observation (0 when empty).
+func (h HistogramMetric) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// MetricsSnapshot is a point-in-time copy of every engine instrument,
+// sorted by name. See DESIGN.md's "Observability model" for the
+// instrument taxonomy (engine.*, churn.*, sim.*, join.*, epoch.*,
+// worker.*).
+type MetricsSnapshot struct {
+	Counters   []Metric
+	Gauges     []Metric
+	Histograms []HistogramMetric
+}
+
+// Value looks a counter or gauge up by name.
+func (s *MetricsSnapshot) Value(name string) (int64, bool) {
+	for _, m := range s.Counters {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	for _, m := range s.Gauges {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteText renders the snapshot as a /metricz-style text dump.
+func (s *MetricsSnapshot) WriteText(w io.Writer) error {
+	var os obs.Snapshot
+	for _, m := range s.Counters {
+		os.Counters = append(os.Counters, obs.Metric(m))
+	}
+	for _, m := range s.Gauges {
+		os.Gauges = append(os.Gauges, obs.Metric(m))
+	}
+	for _, h := range s.Histograms {
+		os.Histograms = append(os.Histograms, obs.HistogramMetric{
+			Name: h.Name, Bounds: h.Bounds, Counts: h.Counts,
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+		})
+	}
+	return os.WriteText(w)
+}
+
+// Snapshot copies the engine's current metrics. Safe to call from any
+// goroutine at any time, including while Run executes on another — the
+// live-introspection pattern cmd/aspen-engine's -metrics-addr endpoint
+// uses. Returns an empty snapshot when EngineConfig.Metrics was false.
+func (e *Engine) Snapshot() *MetricsSnapshot {
+	src := e.reg.Snapshot()
+	out := &MetricsSnapshot{}
+	for _, m := range src.Counters {
+		out.Counters = append(out.Counters, Metric(m))
+	}
+	for _, m := range src.Gauges {
+		out.Gauges = append(out.Gauges, Metric(m))
+	}
+	for _, h := range src.Histograms {
+		out.Histograms = append(out.Histograms, HistogramMetric{
+			Name: h.Name, Bounds: h.Bounds, Counts: h.Counts,
+			Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max,
+		})
+	}
+	return out
+}
+
+// WriteTrace emits the recorded epoch trace in Chrome trace_event form —
+// load the file in chrome://tracing or ui.perfetto.dev. Call after Run
+// (lanes must be quiescent). Writes an empty trace document when
+// EngineConfig.Trace was false.
+func (e *Engine) WriteTrace(w io.Writer) error {
+	return e.tracer.WriteChrome(w)
+}
+
+// WriteTraceJSONL emits the trace as one JSON event per line — the
+// grep/jq-friendly form. Same quiescence requirement as WriteTrace.
+func (e *Engine) WriteTraceJSONL(w io.Writer) error {
+	return e.tracer.WriteJSONL(w)
 }
 
 // Run executes `epochs` scheduler epochs — admitting, stepping and

@@ -201,6 +201,78 @@ func TestEngineFacade(t *testing.T) {
 	}
 }
 
+// TestEngineObservabilityFacade: EngineConfig.Metrics/Trace expose the
+// observability layer without perturbing the run — the metered report is
+// byte-identical to TestEngineFacade's unmetered one, the snapshot agrees
+// with the report, and both trace export forms produce valid output.
+func TestEngineObservabilityFacade(t *testing.T) {
+	run := func(cfg EngineConfig) (*Engine, *EngineReport) {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, job := range engineJobs() {
+			if _, err := e.Submit(job); err != nil {
+				t.Fatalf("%s: %v", job.ID, err)
+			}
+		}
+		rep, err := e.Run(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, rep
+	}
+	_, bare := run(EngineConfig{Seed: 2})
+	e, rep := run(EngineConfig{Seed: 2, Metrics: true, Trace: true})
+	if !reflect.DeepEqual(bare, rep) {
+		t.Fatal("metered run's report differs from unmetered")
+	}
+	snap := e.Snapshot()
+	if v, ok := snap.Value("engine.epochs"); !ok || v != int64(rep.Epochs) {
+		t.Fatalf("engine.epochs = %d,%v want %d", v, ok, rep.Epochs)
+	}
+	if v, _ := snap.Value("sim.shared.bytes"); v != rep.SharedBytes {
+		t.Fatalf("sim.shared.bytes = %d, want %d", v, rep.SharedBytes)
+	}
+	if len(snap.Histograms) == 0 {
+		t.Fatal("snapshot has no histograms")
+	}
+	var text strings.Builder
+	if err := snap.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "counter engine.epochs") {
+		t.Fatalf("text dump malformed:\n%s", text.String())
+	}
+	var chrome strings.Builder
+	if err := e.WriteTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"traceEvents"`) {
+		t.Fatal("Chrome trace missing envelope")
+	}
+	var jsonl strings.Builder
+	if err := e.WriteTraceJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"ph":"X"`) {
+		t.Fatal("JSONL trace has no spans")
+	}
+
+	// Disabled engines answer the same calls with empty output.
+	off, _ := run(EngineConfig{Seed: 2})
+	if s := off.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("unmetered engine returned metrics")
+	}
+	var offTrace strings.Builder
+	if err := off.WriteTrace(&offTrace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(offTrace.String(), "[]") {
+		t.Fatal("untraced engine's trace not empty")
+	}
+}
+
 // TestEngineWorkersFacade: the facade-level worker knob preserves the
 // byte-identical guarantee — the same workload at Workers 1, 4 and -1
 // (all cores) yields identical reports.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -294,6 +295,71 @@ func BenchmarkEngine16Workers(b *testing.B) {
 			benchEngine(b, 16, workers)
 		})
 	}
+}
+
+// BenchmarkEngine16Observed is BenchmarkEngine16 with the observability
+// layer attached, so the enabled-path cost is a recorded number instead
+// of a claim: "bare" is the baseline, "metrics" adds a registry (sampled
+// once per epoch at the barrier), "metrics+trace" also records per-query
+// and per-phase spans. The disabled path is pinned alloc-identical to
+// bare by engine.TestObsDisabledAddsNoAllocs; the enabled deltas measured
+// here are documented in DESIGN.md ("Observability model"). The registry
+// is shared across iterations — instruments re-register idempotently —
+// while the tracer is fresh per iteration, since its span log grows with
+// every epoch and a shared one would turn the bench into an append
+// benchmark.
+func BenchmarkEngine16Observed(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []string{"bare", "metrics", "metrics+trace"} {
+			b.Run(fmt.Sprintf("workers=%d/%s", workers, mode), func(b *testing.B) {
+				var reg *obs.Registry
+				if mode != "bare" {
+					reg = obs.NewRegistry()
+				}
+				b.ReportAllocs()
+				var bytes int64
+				for i := 0; i < b.N; i++ {
+					var tr *obs.Tracer
+					if mode == "metrics+trace" {
+						tr = obs.NewTracer()
+					}
+					e := engine.New(engine.Options{Seed: uint64(i) + 1, Workers: workers, Obs: reg, Trace: tr})
+					for q := 0; q < 16; q++ {
+						if _, err := e.Submit(engine.QueryConfig{SQL: engineQueries[q%len(engineQueries)]}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					bytes += e.Run(30).AggregateBytes
+				}
+				b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
+			})
+		}
+	}
+}
+
+// BenchmarkEngine16Hooked is BenchmarkEngine16 with an OnEpoch hook that
+// reads the per-epoch stats — the path that exercises the engine's reused
+// NewResults map (cleared each epoch instead of reallocated). The delta
+// against BenchmarkEngine16 is the whole cost of per-epoch stats
+// delivery.
+func BenchmarkEngine16Hooked(b *testing.B) {
+	b.ReportAllocs()
+	var bytes, results int64
+	for i := 0; i < b.N; i++ {
+		e := engine.New(engine.Options{Seed: uint64(i) + 1})
+		for q := 0; q < 16; q++ {
+			if _, err := e.Submit(engine.QueryConfig{SQL: engineQueries[q%len(engineQueries)]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		e.OnEpoch = func(s engine.EpochStats) {
+			for _, n := range s.NewResults {
+				results += int64(n)
+			}
+		}
+		bytes += e.Run(30).AggregateBytes
+	}
+	b.ReportMetric(float64(bytes)/float64(b.N)/1024, "trafficKB/op")
 }
 
 // BenchmarkSweepWorkers measures the parallel sweep runner on a

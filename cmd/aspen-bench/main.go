@@ -14,6 +14,7 @@
 //	aspen-bench -compare BENCH_engine.json -fail-on-drift  # CI determinism gate
 //	aspen-bench -workers 4               # step engine scenarios on 4 workers
 //	aspen-bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	aspen-bench -quick -trace trace.json # Chrome trace of the measured run
 //	aspen-bench -list                    # scenario names and descriptions
 //
 // Reports record runtime.NumCPU() and a per-scenario workers field;
@@ -32,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 // stopCPUProfile finalizes a -cpuprofile in flight; a no-op until main
@@ -48,6 +50,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "engine worker override for the sequential engine scenarios (0 = committed defaults; pinned -wN scenarios keep their counts)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the measured run to this file")
+		tracePath   = flag.String("trace", "", "write a chrome://tracing file of the measured run to this path (.jsonl suffix selects JSONL; best with -quick)")
 		list        = flag.Bool("list", false, "list scenarios and exit")
 	)
 	flag.Parse()
@@ -72,6 +75,9 @@ func main() {
 		opts = bench.QuickOptions()
 	}
 	opts.Workers = *workers
+	if *tracePath != "" {
+		opts.Trace = obs.NewTracer()
+	}
 
 	var prev *bench.Report
 	if *compare != "" {
@@ -103,6 +109,15 @@ func main() {
 	rep, err := bench.Run(names, opts)
 	if err != nil {
 		fatal(err)
+	}
+
+	// The trace is written before the -compare gate so a drift failure
+	// still leaves the artifact on disk for inspection (CI uploads it).
+	if *tracePath != "" {
+		if err := writeTrace(opts.Trace, *tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *tracePath)
 	}
 
 	if *memprofile != "" {
@@ -183,6 +198,24 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *out)
 	}
+}
+
+// writeTrace serializes the recorded spans to path — Chrome trace_event
+// JSON by default, one-event-per-line JSONL when the path ends in .jsonl.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

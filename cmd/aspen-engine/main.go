@@ -45,6 +45,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -99,7 +100,9 @@ func main() {
 		workers  = flag.Int("workers", 1, "goroutines stepping live queries per epoch (1 = sequential, -1 = all cores; output is byte-identical at any setting)")
 		seed     = flag.Uint64("seed", 1, "engine seed")
 		baseline = flag.Bool("baseline", true, "also run each query alone and report the sharing win")
-		verbose  = flag.Bool("v", false, "stream per-epoch admissions/retirements/results")
+		verbose  = flag.Bool("v", false, "stream per-epoch admissions/retirements/results to stderr")
+		addr     = flag.String("metrics-addr", "", "serve live introspection endpoints on this address while the run executes (/metricz, /debug/vars, /debug/pprof/)")
+		trace    = flag.String("trace", "", "write the epoch trace to this file after the run (Chrome trace_event JSON; a .jsonl suffix selects JSONL)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), `aspen-engine: run a mixed multi-query workload over ONE shared deployment.
@@ -180,9 +183,37 @@ With no -f, a built-in 4-query demo workload runs.
 		fatal(err)
 	}
 	cfg.Churn = churn.schedule(deployNodes, *epochs)
-	rep, err := runAll(cfg, jobs, *epochs, *verbose)
+	cfg.Metrics = *addr != ""
+	cfg.Trace = *trace != ""
+
+	// Per-epoch progress goes to STDERR: stdout carries only the final
+	// report, so `aspen-engine -v | tee report.txt` and downstream parsers
+	// see a clean machine-readable document.
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	e, err := buildEngine(cfg, jobs, progress)
 	if err != nil {
 		fatal(err)
+	}
+	if *addr != "" {
+		ln, err := serveMetrics(*addr, e)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metricz (also /debug/vars, /debug/pprof/)\n", ln.Addr())
+	}
+	rep, err := e.Run(*epochs)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace != "" {
+		if err := writeTraceFile(e, *trace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *trace)
 	}
 
 	fmt.Printf("aspen-engine — %d queries over one %s deployment (%d nodes, %d epochs)\n\n",
@@ -209,9 +240,12 @@ With no -f, a built-in 4-query demo workload runs.
 	}
 
 	if *baseline {
+		// Baselines measure traffic only: no per-run metrics or tracing.
+		cfgBase := cfg
+		cfgBase.Metrics, cfgBase.Trace = false, false
 		var sum int64
 		for i, job := range jobs {
-			one, err := runAll(cfg, jobs[i:i+1], *epochs, false)
+			one, err := runAll(cfgBase, jobs[i:i+1], *epochs, nil)
 			if err != nil {
 				fatal(fmt.Errorf("baseline %s: %w", job.ID, err))
 			}
@@ -225,8 +259,10 @@ With no -f, a built-in 4-query demo workload runs.
 	}
 }
 
-// runAll builds an engine, submits jobs, and runs it.
-func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, verbose bool) (*aspen.EngineReport, error) {
+// buildEngine constructs an engine and submits jobs. When progress is
+// non-nil, per-epoch admissions/failures/results/retirements stream to it
+// (main passes os.Stderr so stdout stays a clean report).
+func buildEngine(cfg aspen.EngineConfig, jobs []aspen.QueryJob, progress io.Writer) (*aspen.Engine, error) {
 	e, err := aspen.NewEngine(cfg)
 	if err != nil {
 		return nil, err
@@ -236,16 +272,16 @@ func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, verbose b
 			return nil, err
 		}
 	}
-	if verbose {
+	if progress != nil {
 		e.OnEpoch(func(s aspen.EpochStats) {
 			for _, id := range s.Admitted {
-				fmt.Printf("epoch %4d  + %s admitted (%d live)\n", s.Epoch, id, s.Live)
+				fmt.Fprintf(progress, "epoch %4d  + %s admitted (%d live)\n", s.Epoch, id, s.Live)
 			}
 			for _, id := range s.Failed {
-				fmt.Printf("epoch %4d  ! node %d failed\n", s.Epoch, id)
+				fmt.Fprintf(progress, "epoch %4d  ! node %d failed\n", s.Epoch, id)
 			}
 			if s.Repaired > 0 || s.Fallbacks > 0 {
-				fmt.Printf("epoch %4d    recovery: %d path(s) repaired, %d base fallback(s)\n",
+				fmt.Fprintf(progress, "epoch %4d    recovery: %d path(s) repaired, %d base fallback(s)\n",
 					s.Epoch, s.Repaired, s.Fallbacks)
 			}
 			ids := make([]string, 0, len(s.NewResults))
@@ -254,14 +290,41 @@ func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, verbose b
 			}
 			sort.Strings(ids)
 			for _, id := range ids {
-				fmt.Printf("epoch %4d    %s delivered %d result(s)\n", s.Epoch, id, s.NewResults[id])
+				fmt.Fprintf(progress, "epoch %4d    %s delivered %d result(s)\n", s.Epoch, id, s.NewResults[id])
 			}
 			for _, id := range s.Retired {
-				fmt.Printf("epoch %4d  - %s retired\n", s.Epoch, id)
+				fmt.Fprintf(progress, "epoch %4d  - %s retired\n", s.Epoch, id)
 			}
 		})
 	}
+	return e, nil
+}
+
+// runAll builds an engine, submits jobs, and runs it.
+func runAll(cfg aspen.EngineConfig, jobs []aspen.QueryJob, epochs int, progress io.Writer) (*aspen.EngineReport, error) {
+	e, err := buildEngine(cfg, jobs, progress)
+	if err != nil {
+		return nil, err
+	}
 	return e.Run(epochs)
+}
+
+// writeTraceFile exports the engine's epoch trace: Chrome trace_event JSON
+// by default, JSONL when the path ends in .jsonl.
+func writeTraceFile(e *aspen.Engine, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = e.WriteTraceJSONL(f)
+	} else {
+		err = e.WriteTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // splitBlocks cuts src at blank separator lines (lines empty after

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"reflect"
 	"strings"
 	"testing"
@@ -135,7 +140,7 @@ func TestRunAllAndBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := aspen.EngineConfig{Seed: 1}
-	shared, err := runAll(cfg, jobs, 20, false)
+	shared, err := runAll(cfg, jobs, 20, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +149,7 @@ func TestRunAllAndBaseline(t *testing.T) {
 	}
 	var sum int64
 	for i := range jobs {
-		one, err := runAll(cfg, jobs[i:i+1], 20, false)
+		one, err := runAll(cfg, jobs[i:i+1], 20, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,5 +213,102 @@ func TestParseWorkloadChurnErrors(t *testing.T) {
 				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestVerboseStreamsToWriterNotStdout is the stdout-hygiene regression
+// test: per-epoch progress lines go only to the writer buildEngine is
+// handed (main passes stderr), so stdout remains a clean report that
+// pipelines can parse.
+func TestVerboseStreamsToWriterNotStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run in -short mode")
+	}
+	jobs, _, err := parseWorkload("-- id: left\n-- cycles: 5\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress bytes.Buffer
+	if _, err := runAll(aspen.EngineConfig{Seed: 1}, jobs, 10, &progress); err != nil {
+		t.Fatal(err)
+	}
+	out := progress.String()
+	for _, want := range []string{"+ left admitted", "- left retired"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress stream missing %q:\n%s", want, out)
+		}
+	}
+	// The same run with a nil writer registers no hook at all.
+	if _, err := runAll(aspen.EngineConfig{Seed: 1}, jobs, 10, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeMetricsEndpoints: -metrics-addr's server answers /metricz with
+// the text dump and /debug/vars with expvar JSON carrying the engine
+// snapshot under "aspen".
+func TestServeMetricsEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run in -short mode")
+	}
+	jobs, _, err := parseWorkload("-- id: q\n-- query: Q1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEngine(aspen.EngineConfig{Seed: 1, Metrics: true}, jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := serveMetrics("127.0.0.1:0", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ln.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	metricz := get("/metricz")
+	if !strings.Contains(metricz, "counter engine.epochs") || !strings.Contains(metricz, "hist    epoch.wall_us") {
+		t.Fatalf("/metricz malformed:\n%s", metricz)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["aspen"]; !ok {
+		t.Fatal("/debug/vars missing the aspen snapshot")
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string
+			Value int64
+		}
+	}
+	if err := json.Unmarshal(vars["aspen"], &snap); err != nil {
+		t.Fatalf("aspen expvar not a snapshot: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "engine.epochs" && c.Value == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("aspen expvar snapshot missing engine.epochs=10: %+v", snap.Counters)
 	}
 }

@@ -1,0 +1,64 @@
+// Live introspection endpoints for -metrics-addr: the engine's metrics as
+// a /metricz text dump and as expvar JSON under /debug/vars, plus the
+// standard pprof handlers. Snapshots are taken while the scheduler runs —
+// the registry's atomic instruments make that race-free — so a long run
+// can be inspected mid-flight:
+//
+//	aspen-engine -metrics-addr localhost:8080 -epochs 100000 &
+//	curl localhost:8080/metricz
+//	go tool pprof localhost:8080/debug/pprof/profile
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	aspen "repro"
+)
+
+// metricsEngine is the engine the expvar publication reads. expvar's
+// registry is process-global and rejects duplicate names, so the variable
+// is published once and indirects through this pointer (tests start
+// several servers in one process).
+var (
+	metricsEngine atomic.Pointer[aspen.Engine]
+	publishOnce   sync.Once
+)
+
+// serveMetrics starts the introspection server on addr and returns its
+// listener (close it to stop). Endpoints: /metricz (text dump),
+// /debug/vars (expvar JSON, engine metrics under "aspen"), /debug/pprof/.
+func serveMetrics(addr string, e *aspen.Engine) (net.Listener, error) {
+	metricsEngine.Store(e)
+	publishOnce.Do(func() {
+		expvar.Publish("aspen", expvar.Func(func() any {
+			if cur := metricsEngine.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if cur := metricsEngine.Load(); cur != nil {
+			_ = cur.Snapshot().WriteText(w)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
+}

@@ -42,6 +42,21 @@ func TestPackageDocPresence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The walk is derived from the filesystem, so a package silently
+	// dropped from the tree would pass vacuously; pin that the packages
+	// this audit exists for are actually in the set.
+	for _, must := range []string{"internal/obs", "internal/engine", "internal/bench"} {
+		found := false
+		for _, dir := range pkgDirs {
+			if rel, _ := filepath.Rel(root, dir); rel == filepath.FromSlash(must) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("doc audit did not visit %s — package missing or walk broken", must)
+		}
+	}
 	for _, dir := range pkgDirs {
 		rel, _ := filepath.Rel(root, dir)
 		if rel == "" {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -70,7 +71,7 @@ WHERE S.id < 40 AND T.id > 60 AND S.x = T.y + 5 AND S.u = T.u`,
 // simulated traffic) is byte-identical at every worker count, so a -wN
 // variant drifting from its sequential twin is a determinism bug, not
 // noise.
-func engineScenario(nq, pin, workers int) Scenario {
+func engineScenario(nq, pin, workers int, tr *obs.Tracer) Scenario {
 	name := fmt.Sprintf("engine-%d", nq)
 	desc := fmt.Sprintf("%d concurrent quer%s over one shared 100-node deployment, 30 epochs", nq, plural(nq))
 	if pin > 1 {
@@ -83,7 +84,7 @@ func engineScenario(nq, pin, workers int) Scenario {
 		Desc:    desc,
 		Workers: workers,
 		Run: func() (int64, float64) {
-			e := engine.New(engine.Options{Seed: 1, Workers: workers})
+			e := engine.New(engine.Options{Seed: 1, Workers: workers, Trace: tr})
 			for q := 0; q < nq; q++ {
 				if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
 					panic("bench: engine scenario submit: " + err.Error())
@@ -99,7 +100,7 @@ func engineScenario(nq, pin, workers int) Scenario {
 // 10 epochs) at the given worker count. With only 2 live queries the
 // effective parallelism caps at 2 however many workers are requested; the
 // requested count is still what the report records.
-func engine1kScenario(pin, workers int) Scenario {
+func engine1kScenario(pin, workers int, tr *obs.Tracer) Scenario {
 	name := "engine-1k"
 	desc := "2 concurrent queries over one shared 1000-node Moderate Random deployment, 10 epochs"
 	if pin > 1 {
@@ -112,7 +113,7 @@ func engine1kScenario(pin, workers int) Scenario {
 		Desc:    desc,
 		Workers: workers,
 		Run: func() (int64, float64) {
-			e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: 1000, Workers: workers})
+			e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: 1000, Workers: workers, Trace: tr})
 			for q := 0; q < 2; q++ {
 				if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
 					panic("bench: engine-1k scenario submit: " + err.Error())
@@ -160,20 +161,26 @@ func Scenarios() []Scenario { return scenariosAt(0) }
 // default). Names never change with the override — the per-result Workers
 // field records what actually ran, and Compare warns when two reports'
 // counts differ.
-func scenariosAt(override int) []Scenario {
+func scenariosAt(override int) []Scenario { return scenariosWith(override, nil) }
+
+// scenariosWith additionally threads a tracer into the engine-backed
+// scenarios, so a traced bench run records their per-query worker spans
+// alongside the scenario-level spans measure emits. Tracing never touches
+// the checksums: observation reads engine state, it never steers it.
+func scenariosWith(override int, tr *obs.Tracer) []Scenario {
 	w := override
 	if w < 1 {
 		w = 1
 	}
 	return []Scenario{
-		engineScenario(1, 0, w),
-		engineScenario(4, 0, w),
-		engineScenario(16, 0, w),
-		engineScenario(16, 4, 0),
-		engineScenario(64, 0, w),
-		engineScenario(256, 0, w),
-		engine1kScenario(0, w),
-		engine1kScenario(4, 0),
+		engineScenario(1, 0, w, tr),
+		engineScenario(4, 0, w, tr),
+		engineScenario(16, 0, w, tr),
+		engineScenario(16, 4, 0, tr),
+		engineScenario(64, 0, w, tr),
+		engineScenario(256, 0, w, tr),
+		engine1kScenario(0, w, tr),
+		engine1kScenario(4, 0, tr),
 		{
 			Name: "topo-2k",
 			Desc: "2000-node Moderate Random topology construction + base routing tree (grid-bucketed neighbor discovery)",
@@ -408,6 +415,12 @@ type Options struct {
 	// promise one. Checksums are worker-invariant, so an override can
 	// shift wall clock but never the determinism gate.
 	Workers int
+	// Trace, when non-nil, records a scenario-level span per measured
+	// iteration and threads the tracer into the engine-backed scenarios
+	// (per-query worker spans). Meant for quick mode — a full run repeats
+	// each scenario for a second and the span count grows with every
+	// iteration. Tracing never alters checksums.
+	Trace *obs.Tracer
 }
 
 // QuickOptions is the CI configuration: one iteration per scenario.
@@ -430,8 +443,20 @@ func measure(s Scenario, opts Options) Result {
 	var traffic int64
 	var check float64
 	iters := 0
+	// The span name is built once and the per-iteration calls are gated, so
+	// an untraced run's AllocsPerOp is exactly what it was before tracing
+	// existed.
+	lane := opts.Trace.Lane(0)
+	spanName := ""
+	if opts.Trace != nil {
+		spanName = "bench:" + s.Name
+	}
 	for iters < minIters || time.Since(start) < opts.MinTime {
+		t0 := time.Now()
 		traffic, check = s.Run()
+		if spanName != "" {
+			lane.Span(spanName, -1, "", t0)
+		}
 		iters++
 	}
 	elapsed := time.Since(start)
@@ -460,7 +485,7 @@ func measure(s Scenario, opts Options) Result {
 // Run measures the named scenarios (all when names is empty) and returns
 // the report. Unknown names are an error.
 func Run(names []string, opts Options) (*Report, error) {
-	all := scenariosAt(opts.Workers)
+	all := scenariosWith(opts.Workers, opts.Trace)
 	var picked []Scenario
 	if len(names) == 0 {
 		picked = all

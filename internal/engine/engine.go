@@ -31,9 +31,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/costmodel"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -122,6 +124,19 @@ type Options struct {
 	// order at the epoch barrier. Admission, churn and recovery stay
 	// sequential: they mutate shared state.
 	Workers int
+	// Obs, when non-nil, collects engine metrics (see internal/obs and
+	// DESIGN.md's "Observability model"): lifecycle counters, churn
+	// recovery tallies, per-class byte gauges sampled at the epoch
+	// barrier, join-state sizes, and wall-time histograms for the epoch
+	// and each scheduler phase. Observation never feeds back into
+	// execution, so a run's simulated output (and every determinism
+	// checksum derived from it) is identical with Obs set or nil.
+	Obs *obs.Registry
+	// Trace, when non-nil, records wall-clock spans — scheduler phases on
+	// lane 0, per-query sampling cycles on worker lanes — for export in
+	// JSONL or Chrome trace_event form. Same non-interference guarantee
+	// as Obs.
+	Trace *obs.Tracer
 }
 
 // EffectiveNodes returns the deployment size New builds for a kind/nodes
@@ -242,6 +257,11 @@ func (q *Query) State() State { return q.state }
 func (q *Query) Result() *join.Result { return q.result }
 
 // EpochStats is what the OnEpoch hook streams after every scheduler epoch.
+//
+// The value and its NewResults map are only valid for the duration of the
+// callback: the engine reuses the map across epochs (hot runs stream
+// thousands of epochs; one cleared map beats one allocation each). Hooks
+// that retain stats past their return must clone NewResults.
 type EpochStats struct {
 	// Epoch is the epoch that just ran.
 	Epoch int
@@ -250,14 +270,16 @@ type EpochStats struct {
 	// Admitted / Retired list query IDs that changed state this epoch.
 	Admitted, Retired []string
 	// NewResults maps query ID to join results delivered during this
-	// epoch (only queries with a non-zero delta appear).
+	// epoch (only queries with a non-zero delta appear). Valid only
+	// during the callback — see the struct comment.
 	NewResults map[string]int
 	// Failed lists the nodes the churn schedule failed this epoch;
 	// Repaired counts query paths rerouted in-network around those
 	// failures, Fallbacks the pairs that switched to joining at the base
-	// station instead (section 7's two recovery outcomes).
-	Failed              []topology.NodeID
-	Repaired, Fallbacks int
+	// station instead (section 7's two recovery outcomes), and
+	// TreesRebuilt the substrate routing trees rebuilt around them.
+	Failed                            []topology.NodeID
+	Repaired, Fallbacks, TreesRebuilt int
 }
 
 // Engine schedules continuous queries over one shared deployment.
@@ -287,6 +309,12 @@ type Engine struct {
 	churnAt map[int][]ChurnEvent
 	// Recovery totals across the run (see Report).
 	totalFailed, totalRepaired, totalFallbacks, totalRebuilds int
+	// inst is the registered instrument set (nil when Options.Obs is nil)
+	// and lane0 the scheduler's trace lane (nil when Options.Trace is
+	// nil); epochResults is the reused NewResults map handed to OnEpoch.
+	inst         *instruments
+	lane0        *obs.Lane
+	epochResults map[string]int
 }
 
 // New builds the shared deployment: topology, node statics, ONE liveness
@@ -318,6 +346,8 @@ func New(opts Options) *Engine {
 		live:    live,
 		byID:    map[string]*Query{},
 		workers: workers,
+		inst:    newInstruments(opts.Obs, workers),
+		lane0:   opts.Trace.Lane(0),
 	}
 	if len(opts.Churn) > 0 {
 		e.churnAt = make(map[int][]ChurnEvent)
@@ -449,11 +479,13 @@ func (e *Engine) retire(q *Query, epoch int) {
 // routing.Repairer — so limited-exploration probes for a given broken gap
 // are charged once to the shared metrics, no matter how many queries
 // route through it. Returns the nodes failed this epoch and the
-// repair/fallback tallies.
-func (e *Engine) applyChurn(epoch int) (failed []topology.NodeID, repaired, fallbacks int) {
+// repair/fallback/rebuild tallies. pt splits the wall-time observation
+// between the churn phase (liveness application) and the recover phase
+// (tree rebuilds + per-query repair).
+func (e *Engine) applyChurn(epoch int, pt *phaseTimer) (failed []topology.NodeID, repaired, fallbacks, rebuilds int) {
 	evs := e.churnAt[epoch]
 	if len(evs) == 0 {
-		return nil, 0, 0
+		return nil, 0, 0, 0
 	}
 	for _, ev := range evs {
 		if ev.Revive {
@@ -465,11 +497,13 @@ func (e *Engine) applyChurn(epoch int) (failed []topology.NodeID, repaired, fall
 			failed = append(failed, ev.Node)
 		}
 	}
+	pt.done(phaseChurn, epoch)
 	if len(failed) == 0 {
-		return nil, 0, 0
+		return nil, 0, 0, 0
 	}
 	e.totalFailed += len(failed)
-	e.totalRebuilds += e.Sub.RepairTrees(e.shared, e.live, failed)
+	rebuilds = e.Sub.RepairTrees(e.shared, e.live, failed)
+	e.totalRebuilds += rebuilds
 	rp := routing.NewRepairer(e.Topo, e.shared, routing.DefaultRepairLimit)
 	for _, q := range e.queries {
 		if q.state != Live {
@@ -483,7 +517,8 @@ func (e *Engine) applyChurn(epoch int) (failed []topology.NodeID, repaired, fall
 	}
 	e.totalRepaired += repaired
 	e.totalFallbacks += fallbacks
-	return failed, repaired, fallbacks
+	pt.done(phaseRecover, epoch)
+	return failed, repaired, fallbacks, rebuilds
 }
 
 // Step runs one scheduler epoch: admissions due this epoch, then the
@@ -498,31 +533,43 @@ func (e *Engine) applyChurn(epoch int) (failed []topology.NodeID, repaired, fall
 // retirement, the OnEpoch hook — is sequential and in submission order,
 // so the epoch's observable output is byte-identical at any worker count.
 //
-// The EpochStats value (and its NewResults map) is only materialized when
-// an OnEpoch hook is registered, so headless runs pay no per-epoch
-// allocation for progress streaming they never read.
+// The EpochStats value is only materialized when an OnEpoch hook is
+// registered, so headless runs pay no per-epoch allocation for progress
+// streaming they never read; the NewResults map is allocated once and
+// cleared between epochs (see the EpochStats validity contract).
 func (e *Engine) Step() bool {
 	epoch := e.epoch
 	track := e.OnEpoch != nil
 	var stats EpochStats
 	if track {
-		stats = EpochStats{Epoch: epoch, NewResults: map[string]int{}}
+		if e.epochResults == nil {
+			e.epochResults = make(map[string]int)
+		} else {
+			clear(e.epochResults)
+		}
+		stats = EpochStats{Epoch: epoch, NewResults: e.epochResults}
 	}
+	pt := e.startPhases()
+	results, admitted := 0, 0
 	for _, q := range e.queries {
 		if q.state == Pending && q.AdmitAt <= epoch {
 			e.admit(q, epoch)
+			admitted++
 			if track {
 				stats.Admitted = append(stats.Admitted, q.ID)
 			}
 		}
 	}
+	pt.done(phaseAdmit, epoch)
 	if e.churnAt != nil {
-		failed, repaired, fallbacks := e.applyChurn(epoch)
+		failed, repaired, fallbacks, rebuilds := e.applyChurn(epoch, &pt)
 		if track {
 			stats.Failed = failed
 			stats.Repaired = repaired
 			stats.Fallbacks = fallbacks
+			stats.TreesRebuilt = rebuilds
 		}
+		e.observeChurn(len(failed), repaired, fallbacks, rebuilds)
 	}
 	e.stepList = e.stepList[:0]
 	for _, q := range e.queries {
@@ -531,23 +578,32 @@ func (e *Engine) Step() bool {
 		}
 	}
 	e.stepLive(epoch, e.stepList)
+	pt.done(phaseStep, epoch)
 	// Epoch barrier: every stepper has finished its cycle. Accounting —
 	// ledger merges (done inside stepLive), result deltas, retirements —
 	// runs sequentially in submission order.
+	retired := 0
 	for _, q := range e.stepList {
 		r := q.stepper.Results()
 		d := r - q.lastResults
 		q.lastResults = r
+		results += d
 		if track && d > 0 {
 			stats.NewResults[q.ID] = d
 		}
 		if q.Cycles > 0 && epoch-q.admitEpoch+1 >= q.Cycles {
 			e.retire(q, epoch+1)
+			retired++
 			if track {
 				stats.Retired = append(stats.Retired, q.ID)
 			}
 		}
 	}
+	if e.inst != nil {
+		e.observeEpoch(len(e.stepList), admitted, retired, results)
+	}
+	pt.done(phaseMerge, epoch)
+	pt.finish(epoch)
 	e.epoch++
 	if track {
 		stats.Live = len(e.stepList)
@@ -575,9 +631,28 @@ func (e *Engine) stepLive(epoch int, qs []*Query) {
 	if workers > len(qs) {
 		workers = len(qs)
 	}
+	// Per-step instrumentation: worker w charges shard w of the sharded
+	// counters with plain adds (zero-value handles are no-ops) and records
+	// a span on lane 1+w; the shards fold into published totals at the
+	// barrier, in observeEpoch. The clock is only read when observing.
+	var busy, steps obs.ShardedCounter
+	if e.inst != nil {
+		busy, steps = e.inst.workerBusyUS, e.inst.workerSteps
+	}
 	if workers <= 1 {
+		if !e.observing() {
+			for _, q := range qs {
+				q.stepper.Step(epoch - q.admitEpoch)
+			}
+			return
+		}
+		lane := e.opts.Trace.Lane(1)
 		for _, q := range qs {
+			t0 := time.Now()
 			q.stepper.Step(epoch - q.admitEpoch)
+			busy.Add(0, time.Since(t0).Microseconds())
+			steps.Add(0, 1)
+			lane.Span(q.ID, epoch, q.ID, t0)
 		}
 		return
 	}
@@ -588,20 +663,31 @@ func (e *Engine) stepLive(epoch int, qs []*Query) {
 		}
 		q.net.AttachLedger(q.ledger)
 	}
+	observing := e.observing()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			lane := e.opts.Trace.Lane(1 + w)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(qs) {
 					return
 				}
-				qs[i].stepper.Step(epoch - qs[i].admitEpoch)
+				q := qs[i]
+				if !observing {
+					q.stepper.Step(epoch - q.admitEpoch)
+					continue
+				}
+				t0 := time.Now()
+				q.stepper.Step(epoch - q.admitEpoch)
+				busy.Add(w, time.Since(t0).Microseconds())
+				steps.Add(w, 1)
+				lane.Span(q.ID, epoch, q.ID, t0)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, q := range qs {

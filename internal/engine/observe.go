@@ -1,0 +1,239 @@
+// Observability wiring: the engine's instrument set over internal/obs,
+// the per-epoch phase timing, and the epoch-barrier sampling pass. All of
+// it is zero-cost when Options.Obs and Options.Trace are nil — the hot
+// path pays one nil check per epoch (see TestObsDisabledAddsNoAllocs) —
+// and none of it feeds back into execution, so enabling observability
+// never changes simulated output or determinism checksums.
+
+package engine
+
+import (
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Epoch phases, in execution order. Churn and Recover are only observed
+// on engines with a churn schedule.
+const (
+	phaseAdmit = iota
+	phaseChurn
+	phaseRecover
+	phaseStep
+	phaseMerge
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"admit", "churn", "recover", "step", "merge"}
+
+// phaseSpanNames are precomputed so closing a phase never builds a string
+// on the metrics-only path (the concat would allocate even with tracing
+// off).
+var phaseSpanNames = [numPhases]string{
+	"phase:admit", "phase:churn", "phase:recover", "phase:step", "phase:merge",
+}
+
+// instruments is the engine's registered instrument set. The taxonomy
+// (documented in DESIGN.md, "Observability model"):
+//
+//	engine.*  scheduler lifecycle counters and the live-query gauge
+//	churn.*   section-7 failure/recovery event counters
+//	sim.*     byte accounting sampled from the sim metrics streams
+//	join.*    per-query join-state sizes
+//	epoch.*   wall-time histograms (whole epoch + per phase, microseconds)
+//	worker.*  per-worker sharded hot-path counters, flushed at the barrier
+type instruments struct {
+	epochs   obs.Counter
+	admitted obs.Counter
+	retired  obs.Counter
+	results  obs.Counter
+	live     obs.Gauge
+
+	failed    obs.Counter
+	repaired  obs.Counter
+	fallbacks obs.Counter
+	rebuilds  obs.Counter
+
+	sharedBytes obs.Gauge
+	queryBytes  obs.Gauge
+	kindBytes   [3]obs.Gauge
+	drops       obs.Gauge
+	retransmits obs.Gauge
+
+	joinTuples   obs.Gauge
+	joinPerQuery obs.Histogram
+
+	epochWall obs.Histogram
+	phases    [numPhases]obs.Histogram
+
+	workerBusyUS obs.ShardedCounter
+	workerSteps  obs.ShardedCounter
+}
+
+// newInstruments registers the engine's instrument set on reg (nil reg
+// yields all-disabled handles, so callers need not special-case).
+func newInstruments(reg *obs.Registry, workers int) *instruments {
+	if reg == nil {
+		return nil
+	}
+	in := &instruments{
+		epochs:   reg.Counter("engine.epochs"),
+		admitted: reg.Counter("engine.queries.admitted"),
+		retired:  reg.Counter("engine.queries.retired"),
+		results:  reg.Counter("engine.results"),
+		live:     reg.Gauge("engine.queries.live"),
+
+		failed:    reg.Counter("churn.nodes_failed"),
+		repaired:  reg.Counter("churn.paths_repaired"),
+		fallbacks: reg.Counter("churn.base_fallbacks"),
+		rebuilds:  reg.Counter("churn.trees_rebuilt"),
+
+		sharedBytes: reg.Gauge("sim.shared.bytes"),
+		queryBytes:  reg.Gauge("sim.query.bytes"),
+		drops:       reg.Gauge("sim.drops"),
+		retransmits: reg.Gauge("sim.retransmissions"),
+
+		joinTuples:   reg.Gauge("join.state.tuples"),
+		joinPerQuery: reg.Histogram("join.state.tuples_per_query", obs.SizeBounds()),
+
+		epochWall: reg.Histogram("epoch.wall_us", obs.DurationBoundsUS()),
+
+		workerBusyUS: reg.ShardedCounter("worker.busy_us", workers),
+		workerSteps:  reg.ShardedCounter("worker.steps", workers),
+	}
+	for k := sim.Control; k <= sim.Result; k++ {
+		in.kindBytes[k] = reg.Gauge("sim.bytes." + k.String())
+	}
+	for p := 0; p < numPhases; p++ {
+		in.phases[p] = reg.Histogram("epoch.phase."+phaseNames[p]+"_us", obs.DurationBoundsUS())
+	}
+	return in
+}
+
+// observing reports whether Step must read the clock at phase boundaries.
+func (e *Engine) observing() bool { return e.inst != nil || e.lane0 != nil }
+
+// phaseTimer threads wall-clock phase boundaries through one epoch. The
+// zero value (observability disabled) makes every method a no-op without
+// touching the clock.
+type phaseTimer struct {
+	e          *Engine
+	epochStart time.Time
+	last       time.Time
+	on         bool
+}
+
+// startPhases begins an epoch's timing (no-op timer when disabled).
+func (e *Engine) startPhases() phaseTimer {
+	if !e.observing() {
+		return phaseTimer{}
+	}
+	now := time.Now()
+	return phaseTimer{e: e, epochStart: now, last: now, on: true}
+}
+
+// done closes the current phase: one histogram observation and one trace
+// span, then re-arms for the next phase.
+func (p *phaseTimer) done(phase, epoch int) {
+	if !p.on {
+		return
+	}
+	if in := p.e.inst; in != nil {
+		in.phases[phase].Observe(time.Since(p.last).Microseconds())
+	}
+	p.e.lane0.Span(phaseSpanNames[phase], epoch, "", p.last)
+	p.last = time.Now()
+}
+
+// finish closes the whole-epoch span and histogram.
+func (p *phaseTimer) finish(epoch int) {
+	if !p.on {
+		return
+	}
+	if in := p.e.inst; in != nil {
+		in.epochWall.Observe(time.Since(p.epochStart).Microseconds())
+	}
+	p.e.lane0.Span("epoch", epoch, "", p.epochStart)
+}
+
+// observeEpoch is the epoch-barrier sampling pass: byte accounting by
+// stream and traffic class, recovery totals, and per-query join-state
+// sizes. It runs strictly in the sequential section (after the worker
+// pool drains), reading sim metrics the same way Report does — it never
+// charges traffic, so the sampled run is byte-identical to an unsampled
+// one.
+func (e *Engine) observeEpoch(live, admitted, retired, results int) {
+	in := e.inst
+	if in == nil {
+		return
+	}
+	// Fold the workers' hot-path shards into published totals — the pool
+	// has drained, so plain reads of the shard slots are race-free.
+	in.workerBusyUS.Flush()
+	in.workerSteps.Flush()
+	in.epochs.Inc()
+	in.live.Set(int64(live))
+	in.admitted.Add(int64(admitted))
+	in.retired.Add(int64(retired))
+	in.results.Add(int64(results))
+
+	sm := e.shared.Metrics()
+	in.sharedBytes.Set(sm.TotalBytes)
+	var kind [3]int64
+	drops, retrans := sm.Drops, sm.Retransmissions
+	for k := sim.Control; k <= sim.Result; k++ {
+		kind[k] = sm.KindBytes(k)
+	}
+	var queryBytes int64
+	for _, q := range e.queries {
+		if q.state == Pending {
+			continue
+		}
+		m := q.net.Metrics()
+		queryBytes += m.TotalBytes
+		drops += m.Drops
+		retrans += m.Retransmissions
+		for k := sim.Control; k <= sim.Result; k++ {
+			kind[k] += m.KindBytes(k)
+		}
+	}
+	in.queryBytes.Set(queryBytes)
+	in.drops.Set(drops)
+	in.retransmits.Set(retrans)
+	for k := sim.Control; k <= sim.Result; k++ {
+		in.kindBytes[k].Set(kind[k])
+	}
+
+	var tuples int64
+	for _, q := range e.stepList {
+		if q.stepper == nil {
+			continue // retired at this epoch's barrier
+		}
+		if ss, ok := q.stepper.(join.StateSized); ok {
+			n := int64(ss.JoinStateTuples())
+			tuples += n
+			in.joinPerQuery.Observe(n)
+		}
+	}
+	in.joinTuples.Set(tuples)
+}
+
+// observeChurn folds one epoch's recovery outcome into the counters.
+func (e *Engine) observeChurn(failed, repaired, fallbacks, rebuilds int) {
+	in := e.inst
+	if in == nil {
+		return
+	}
+	in.failed.Add(int64(failed))
+	in.repaired.Add(int64(repaired))
+	in.fallbacks.Add(int64(fallbacks))
+	in.rebuilds.Add(int64(rebuilds))
+}
+
+// Snapshot returns a point-in-time copy of every registered instrument
+// (empty when Options.Obs is nil). Safe to call from another goroutine —
+// the live introspection endpoints in cmd/aspen-engine snapshot while the
+// scheduler is mid-epoch.
+func (e *Engine) Snapshot() obs.Snapshot { return e.opts.Obs.Snapshot() }

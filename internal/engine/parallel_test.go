@@ -12,6 +12,22 @@ import (
 // over-subscribed pools.
 var workerCounts = []int{1, 2, 4, 8}
 
+// captureStats returns an OnEpoch hook appending to *out. EpochStats and
+// its NewResults map are only valid during the callback (the engine
+// reuses the map), so retaining hooks like these must clone.
+func captureStats(out *[]EpochStats) func(EpochStats) {
+	return func(s EpochStats) {
+		if len(s.NewResults) > 0 {
+			m := make(map[string]int, len(s.NewResults))
+			for k, v := range s.NewResults {
+				m[k] = v
+			}
+			s.NewResults = m
+		}
+		*out = append(*out, s)
+	}
+}
+
 // mixedRun executes a mixed workload — every continuous algorithm family,
 // staggered admissions, mid-run retirements — at the given worker count
 // and returns the report plus the captured per-epoch stream.
@@ -33,7 +49,7 @@ func mixedRun(t *testing.T, workers int, churn []ChurnEvent) (*Report, []EpochSt
 		}
 	}
 	var stream []EpochStats
-	e.OnEpoch = func(s EpochStats) { stream = append(stream, s) }
+	e.OnEpoch = captureStats(&stream)
 	return e.Run(20), stream
 }
 
@@ -61,18 +77,17 @@ func TestWorkersByteIdentical(t *testing.T) {
 	}
 }
 
-// TestWorkersChurnByteIdentical runs the bench churn-1k workload shape —
-// two queries over a 1000-node deployment under a seeded churn schedule
-// plus probe-selected path/join-node victims — at every worker count and
-// requires identical recovery accounting. Churn and repair mutate shared
-// state, so this is the test that pins them to the sequential sections.
-func TestWorkersChurnByteIdentical(t *testing.T) {
-	if testing.Short() {
-		t.Skip("1000-node churn grid is slow")
-	}
+// churn1kWorkload builds the bench churn-1k workload shape: two queries
+// over a 1000-node deployment, a seeded churn schedule, and probe-selected
+// victims — one intermediate path hop (repairs in-network) and one join
+// node (falls back to the base) — so a 12-epoch run exercises every
+// section-7 recovery outcome. Returns the engine factory and the schedule;
+// shared by the worker-determinism and stats-completeness properties.
+func churn1kWorkload(t *testing.T) (mk func(workers int, churn []ChurnEvent) *Engine, churn []ChurnEvent) {
+	t.Helper()
 	const nodes = 1000
 	sql := []string{q1SQL(t), q2SQL(t)}
-	mk := func(workers int, churn []ChurnEvent) *Engine {
+	mk = func(workers int, churn []ChurnEvent) *Engine {
 		e := New(Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: nodes, Workers: workers, Churn: churn})
 		for i, src := range sql {
 			if _, err := e.Submit(QueryConfig{ID: []string{"a", "b"}[i], SQL: src}); err != nil {
@@ -81,9 +96,6 @@ func TestWorkersChurnByteIdentical(t *testing.T) {
 		}
 		return e
 	}
-	// Probe for victims exactly like the churn-1k scenario: one
-	// intermediate path hop (repairs in-network) and one join node (falls
-	// back to the base).
 	probe := mk(1, nil)
 	probe.Run(6)
 	var mid, joinNode topology.NodeID = -1, -1
@@ -110,9 +122,21 @@ func TestWorkersChurnByteIdentical(t *testing.T) {
 	if mid < 0 || joinNode < 0 {
 		t.Fatal("probe found no churn victims")
 	}
-	churn := append(SeededChurn(7, nodes, 12, 0.0005, 0),
+	churn = append(SeededChurn(7, nodes, 12, 0.0005, 0),
 		ChurnEvent{Epoch: 3, Node: mid},
 		ChurnEvent{Epoch: 6, Node: joinNode})
+	return mk, churn
+}
+
+// TestWorkersChurnByteIdentical runs the churn-1k workload at every worker
+// count and requires identical recovery accounting. Churn and repair
+// mutate shared state, so this is the test that pins them to the
+// sequential sections.
+func TestWorkersChurnByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-node churn grid is slow")
+	}
+	mk, churn := churn1kWorkload(t)
 	base := mk(1, churn).Run(12)
 	if base.FailedNodes == 0 || base.PathsRepaired == 0 || base.BaseFallbacks == 0 {
 		t.Fatalf("churn run lost its recovery coverage: %+v", base)
@@ -164,7 +188,7 @@ func TestOnEpochHookMidRun(t *testing.T) {
 		var stream []EpochStats
 		for i := 0; i < 15; i++ {
 			if i == hookAt {
-				e.OnEpoch = func(s EpochStats) { stream = append(stream, s) }
+				e.OnEpoch = captureStats(&stream)
 			}
 			e.Step()
 		}

@@ -115,6 +115,9 @@ func (b *baseStepper) runCycle(cycle int) {
 // Results implements Stepper.
 func (b *baseStepper) Results() int { return b.res.Results }
 
+// JoinStateTuples implements StateSized: everything buffered at the base.
+func (b *baseStepper) JoinStateTuples() int { return b.st.Tuples() }
+
 // Finish implements Stepper.
 func (b *baseStepper) Finish() *Result {
 	b.res.AtBasePairs = b.st.Pairs()
@@ -296,6 +299,18 @@ func (y *yangStepper) Step(cycle int) {
 // Results implements Stepper.
 func (y *yangStepper) Results() int { return y.res.Results }
 
+// JoinStateTuples implements StateSized: tuples buffered across the
+// per-target join states.
+func (y *yangStepper) JoinStateTuples() int {
+	n := 0
+	for _, st := range y.states {
+		if st != nil {
+			n += st.Tuples()
+		}
+	}
+	return n
+}
+
 // Finish implements Stepper.
 func (y *yangStepper) Finish() *Result {
 	y.res.InNetPairs = countPairs(y.cfg.Spec)
@@ -468,6 +483,18 @@ func (h *hashedStepper) Step(cycle int) {
 
 // Results implements Stepper.
 func (h *hashedStepper) Results() int { return h.res.Results }
+
+// JoinStateTuples implements StateSized: tuples buffered at the home
+// nodes.
+func (h *hashedStepper) JoinStateTuples() int {
+	n := 0
+	for i := range h.gs {
+		if st := h.gs[i].state; st != nil {
+			n += st.Tuples()
+		}
+	}
+	return n
+}
 
 // Finish implements Stepper.
 func (h *hashedStepper) Finish() *Result {

@@ -203,6 +203,18 @@ func (e *engine) Step(cycle int) {
 // Results implements Stepper.
 func (e *engine) Results() int { return e.res.Results }
 
+// JoinStateTuples implements StateSized: the tuples buffered across every
+// join node's window state.
+func (e *engine) JoinStateTuples() int {
+	n := 0
+	for _, st := range e.states {
+		if st != nil {
+			n += st.Tuples()
+		}
+	}
+	return n
+}
+
 // Finish implements Stepper.
 func (e *engine) Finish() *Result {
 	for _, p := range e.pairs {

@@ -159,6 +159,16 @@ type FailureRecoverer interface {
 	HandleNodeFailure(failed []topology.NodeID, rp *routing.Repairer) (repaired, fallbacks int)
 }
 
+// StateSized is implemented by steppers that can report how many tuples
+// their join windows currently buffer, summed across every join state the
+// query maintains. internal/engine samples it at the epoch barrier (never
+// inside the parallel section) to feed the observability layer's
+// join-state gauges and histograms; steppers without meaningful window
+// state need not implement it.
+type StateSized interface {
+	JoinStateTuples() int
+}
+
 // LivenessObserver is implemented by routers (grouped.HomeRouter
 // implementations) that memoize routing state which must be recomputed
 // around failed nodes — dht.Ring's per-destination parent vectors.

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsDisabled: every operation on the nil registry and on
+// zero-value handles is a safe no-op — the contract that lets instrumented
+// code skip conditional wiring entirely.
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", SizeBounds())
+	s := r.ShardedCounter("s", 4)
+	c.Add(5)
+	c.Inc()
+	g.Set(7)
+	h.Observe(3)
+	s.Add(0, 9)
+	s.Flush()
+	if c.Value() != 0 || g.Value() != 0 || s.Value() != 0 {
+		t.Fatal("disabled handles returned non-zero values")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var zero Counter
+	zero.Add(1) // zero-value handle, no registry at all
+	var zh Histogram
+	zh.Observe(1)
+	var zs ShardedCounter
+	zs.Add(2, 3)
+	zs.Flush()
+}
+
+// TestCounterGauge covers the basic instruments and idempotent
+// re-registration (same name returns the same slot).
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("engine.epochs")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	again := r.Counter("engine.epochs")
+	again.Inc()
+	if c.Value() != 5 {
+		t.Fatal("re-registration did not alias the same counter")
+	}
+	g := r.Gauge("engine.live")
+	g.Set(10)
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want last-write 7", g.Value())
+	}
+}
+
+// TestKindMismatchPanics: one name, two kinds is a programming error.
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+// TestHistogramBuckets pins bucket placement: value v lands in the first
+// bucket whose bound >= v, and values beyond the last bound land in the
+// overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 999, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hm := snap.Histograms[0]
+	wantCounts := []int64{2, 2, 1, 1} // <=10: {1,10}; <=100: {11,100}; <=1000: {999}; overflow: {5000}
+	for i, w := range wantCounts {
+		if hm.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, hm.Counts[i], w, hm.Counts)
+		}
+	}
+	if hm.Count != 6 || hm.Sum != 1+10+11+100+999+5000 {
+		t.Fatalf("count=%d sum=%d", hm.Count, hm.Sum)
+	}
+	if hm.Min != 1 || hm.Max != 5000 {
+		t.Fatalf("min=%d max=%d, want 1/5000", hm.Min, hm.Max)
+	}
+	if got := hm.Mean(); got != float64(hm.Sum)/6 {
+		t.Fatalf("mean=%v", got)
+	}
+}
+
+// TestHistogramEmptyMinMax: an empty histogram reports 0 min/max, not the
+// sentinel extremes.
+func TestHistogramEmptyMinMax(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", SizeBounds())
+	hm := r.Snapshot().Histograms[0]
+	if hm.Min != 0 || hm.Max != 0 || hm.Count != 0 {
+		t.Fatalf("empty histogram min=%d max=%d count=%d", hm.Min, hm.Max, hm.Count)
+	}
+}
+
+// TestHistogramBoundsNotAscendingPanics validates the bounds contract.
+func TestHistogramBoundsNotAscendingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", []int64{10, 10})
+}
+
+// TestShardedCounterMerge: concurrent workers writing distinct shards with
+// plain adds, folded at a barrier, equal the sequential sum; the published
+// total is only visible after Flush.
+func TestShardedCounterMerge(t *testing.T) {
+	r := NewRegistry()
+	const shards = 8
+	s := r.ShardedCounter("worker.steps", shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Value() != 0 {
+		t.Fatalf("pre-flush total = %d, want 0", s.Value())
+	}
+	s.Flush()
+	if s.Value() != shards*1000 {
+		t.Fatalf("flushed total = %d, want %d", s.Value(), shards*1000)
+	}
+	s.Flush() // idempotent on zeroed shards
+	if s.Value() != shards*1000 {
+		t.Fatal("second flush changed the total")
+	}
+	// Out-of-range shards fold into shard 0 instead of racing or panicking.
+	s.Add(shards+3, 5)
+	s.Add(-1, 5)
+	s.Flush()
+	if s.Value() != shards*1000+10 {
+		t.Fatalf("out-of-range adds lost: %d", s.Value())
+	}
+}
+
+// TestSnapshotSortedAndComplete: snapshots list every instrument sorted by
+// name, sharded counters included among the counters.
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.counter").Add(2)
+	r.Counter("a.counter").Add(1)
+	sc := r.ShardedCounter("c.sharded", 2)
+	sc.Add(1, 9)
+	sc.Flush()
+	r.Gauge("z.gauge").Set(3)
+	r.Gauge("a.gauge").Set(4)
+	r.Histogram("m.hist", []int64{10}).Observe(7)
+	snap := r.Snapshot()
+	var names []string
+	for _, m := range snap.Counters {
+		names = append(names, m.Name)
+	}
+	if strings.Join(names, ",") != "a.counter,b.counter,c.sharded" {
+		t.Fatalf("counters = %v", names)
+	}
+	if snap.Gauges[0].Name != "a.gauge" || snap.Gauges[1].Name != "z.gauge" {
+		t.Fatalf("gauges unsorted: %v", snap.Gauges)
+	}
+	if v, ok := snap.Value("c.sharded"); !ok || v != 9 {
+		t.Fatalf("Value(c.sharded) = %d,%v", v, ok)
+	}
+	if _, ok := snap.Value("missing"); ok {
+		t.Fatal("Value found a missing instrument")
+	}
+	var sb strings.Builder
+	if err := snap.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"counter a.counter", "gauge   a.gauge", "hist    m.hist", "count=1", "mean=7.0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSeries125 pins the default bucket series shape.
+func TestSeries125(t *testing.T) {
+	b := series125(1, 100)
+	want := []int64{1, 2, 5, 10, 20, 50, 100}
+	if len(b) != len(want) {
+		t.Fatalf("series = %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("series = %v, want %v", b, want)
+		}
+	}
+	for i := 1; i < len(DurationBoundsUS()); i++ {
+		if DurationBoundsUS()[i] <= DurationBoundsUS()[i-1] {
+			t.Fatal("duration bounds not ascending")
+		}
+	}
+}
+
+// TestConcurrentWritesAndSnapshots: atomic instruments under concurrent
+// writers with a snapshotting reader — the live-endpoint access pattern —
+// must total exactly and trip the race detector never.
+func TestConcurrentWritesAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	h := r.Histogram("lat", DurationBoundsUS())
+	const workers, perWorker = 4, 2500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	hm := r.Snapshot().Histograms[0]
+	if hm.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hm.Count, workers*perWorker)
+	}
+}

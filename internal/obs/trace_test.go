@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsDisabled: nil tracers and nil lanes are safe no-ops.
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	lane := tr.Lane(3)
+	if lane != nil {
+		t.Fatal("nil tracer returned a lane")
+	}
+	lane.Span("x", 0, "", time.Now()) // nil lane: no-op
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer has events: %v", evs)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil || sb.Len() != 0 {
+		t.Fatal("nil tracer JSONL not empty")
+	}
+}
+
+// TestSpansAndLanes: spans land on their lane with relative microsecond
+// timestamps and the right logical coordinates.
+func TestSpansAndLanes(t *testing.T) {
+	tr := NewTracer()
+	l0 := tr.Lane(0)
+	l1 := tr.Lane(1)
+	if tr.Lane(0) != l0 {
+		t.Fatal("Lane not stable per tid")
+	}
+	start := time.Now()
+	l0.Span("epoch", 4, "", start)
+	l1.Span("step", 4, "q1", start)
+	l1.Span("init", -1, "", start)
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	if evs[0].TID != 0 || evs[1].TID != 1 || evs[2].TID != 1 {
+		t.Fatalf("lane order wrong: %+v", evs)
+	}
+	if evs[0].Ph != "X" || evs[0].TS < 0 || evs[0].Dur < 0 {
+		t.Fatalf("bad span envelope: %+v", evs[0])
+	}
+	if evs[0].Args == nil || evs[0].Args.Epoch != 4 {
+		t.Fatalf("epoch arg lost: %+v", evs[0].Args)
+	}
+	if evs[1].Args == nil || evs[1].Args.Query != "q1" {
+		t.Fatalf("query arg lost: %+v", evs[1].Args)
+	}
+	if evs[2].Args != nil {
+		t.Fatalf("coordinate-free span grew args: %+v", evs[2].Args)
+	}
+}
+
+// TestConcurrentLaneCreation: workers grabbing their lanes simultaneously
+// (the pool spin-up pattern) is safe and yields distinct single-writer
+// lanes.
+func TestConcurrentLaneCreation(t *testing.T) {
+	tr := NewTracer()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := tr.Lane(1 + w)
+			for i := 0; i < 100; i++ {
+				lane.Span("step", i, "q", time.Now())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != workers*100 {
+		t.Fatalf("events = %d, want %d", got, workers*100)
+	}
+}
+
+// TestWriteJSONL: one valid JSON object per line.
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer()
+	tr.Lane(0).Span("epoch", 1, "", time.Now())
+	tr.Lane(1).Span("step", 1, "q0", time.Now())
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	lines := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+// TestWriteChrome: the export is a trace_event JSON document whose
+// traceEvents array is never null (chrome://tracing rejects null), with
+// complete ("ph":"X") events carrying ts/dur.
+func TestWriteChrome(t *testing.T) {
+	empty := NewTracer()
+	var sb strings.Builder
+	if err := empty.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents == nil && !strings.Contains(sb.String(), "[]") {
+		t.Fatal("empty trace serialized traceEvents as null")
+	}
+
+	tr := NewTracer()
+	st := time.Now()
+	time.Sleep(time.Millisecond)
+	tr.Lane(0).Span("epoch", 0, "", st)
+	sb.Reset()
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("traceEvents = %d, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Ph != "X" || ev.Name != "epoch" || ev.Dur < 1000 {
+		t.Fatalf("bad event: %+v (dur should cover the 1ms sleep)", ev)
+	}
+}

@@ -96,6 +96,16 @@ type Metrics struct {
 	QueueDrops int64
 }
 
+// KindBytes returns the bytes charged to one traffic class — the
+// per-class accessor the engine's observability sampling reads at the
+// epoch barrier (out-of-range kinds read as 0).
+func (m *Metrics) KindBytes(k MsgKind) int64 {
+	if int(k) >= len(m.ByKind) {
+		return 0
+	}
+	return m.ByKind[k]
+}
+
 // MaxNodeBytes returns the heaviest per-node transmit load.
 func (m *Metrics) MaxNodeBytes() int64 {
 	var max int64

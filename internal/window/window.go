@@ -252,6 +252,17 @@ func (st *State) Restore(tuples []Tuple) {
 	}
 }
 
+// Tuples returns the total buffered tuple count across every producer
+// window — the join-state size the engine's observability layer samples
+// per query at the epoch barrier.
+func (st *State) Tuples() int {
+	n := 0
+	for _, r := range st.windows {
+		n += r.len()
+	}
+	return n
+}
+
 // WindowLen returns the buffered tuple count for producer p.
 func (st *State) WindowLen(p topology.NodeID) int {
 	if win, ok := st.windows[p]; ok {
