@@ -361,6 +361,14 @@ type EngineConfig struct {
 	LossProb *float64
 	// Churn is the deployment's fail/revive schedule (empty = no churn).
 	Churn []ChurnEvent
+	// Adapt enables the engine's adaptivity phase: each epoch, after churn
+	// recovery and before query stepping, join nodes re-estimate their
+	// pairs' selectivities from observed traffic and migrate join windows
+	// when the estimates diverge ≥33% from what the current placement was
+	// optimized for (the paper's section 6, run at deployment scope). A
+	// migration whose target node died aborts into the base-station
+	// fallback instead.
+	Adapt bool
 	// Workers is the number of goroutines the scheduler uses to step live
 	// queries concurrently within an epoch: 0 or 1 runs sequentially, a
 	// negative value uses every CPU core. Reports are byte-identical at
@@ -446,6 +454,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		Nodes:   cfg.Nodes,
 		Trees:   cfg.Trees,
 		Seed:    seed,
+		Adapt:   cfg.Adapt,
 		Workers: cfg.Workers,
 	}
 	var reg *obs.Registry
@@ -541,6 +550,10 @@ type EpochStats struct {
 	// the substrate routing trees rebuilt around the failures.
 	Failed                            []int
 	Repaired, Fallbacks, TreesRebuilt int
+	// Migrations / MigrationsAborted count the adaptivity phase's window
+	// migrations this epoch: committed moves vs moves abandoned because
+	// the target node was dead (zero unless EngineConfig.Adapt).
+	Migrations, MigrationsAborted int
 }
 
 // OnEpoch registers a hook streamed after every scheduler epoch (nil
@@ -552,14 +565,16 @@ func (e *Engine) OnEpoch(fn func(EpochStats)) {
 	}
 	e.eng.OnEpoch = func(s engine.EpochStats) {
 		out := EpochStats{
-			Epoch:        s.Epoch,
-			Live:         s.Live,
-			Admitted:     s.Admitted,
-			Retired:      s.Retired,
-			NewResults:   s.NewResults,
-			Repaired:     s.Repaired,
-			Fallbacks:    s.Fallbacks,
-			TreesRebuilt: s.TreesRebuilt,
+			Epoch:             s.Epoch,
+			Live:              s.Live,
+			Admitted:          s.Admitted,
+			Retired:           s.Retired,
+			NewResults:        s.NewResults,
+			Repaired:          s.Repaired,
+			Fallbacks:         s.Fallbacks,
+			TreesRebuilt:      s.TreesRebuilt,
+			Migrations:        s.Migrations,
+			MigrationsAborted: s.MigrationsAborted,
 		}
 		for _, id := range s.Failed {
 			out.Failed = append(out.Failed, int(id))
@@ -723,7 +738,10 @@ type EngineReport struct {
 	// PathsRepaired / BaseFallbacks are the section 7 recovery outcomes
 	// and TreesRebuilt the substrate's tree-rebuild fallbacks.
 	FailedNodes, PathsRepaired, BaseFallbacks, TreesRebuilt int
-	Queries                                                 []QueryEngineReport
+	// Migrations / MigrationsAborted total the adaptivity phase's window
+	// migrations over the run (zero unless EngineConfig.Adapt).
+	Migrations, MigrationsAborted int
+	Queries                       []QueryEngineReport
 }
 
 func engineReport(r *engine.Report) *EngineReport {
@@ -739,6 +757,8 @@ func engineReport(r *engine.Report) *EngineReport {
 		PathsRepaired:         r.PathsRepaired,
 		BaseFallbacks:         r.BaseFallbacks,
 		TreesRebuilt:          r.TreesRebuilt,
+		Migrations:            r.Migrations,
+		MigrationsAborted:     r.MigrationsAborted,
 	}
 	for _, q := range r.Queries {
 		out.Queries = append(out.Queries, QueryEngineReport{

@@ -98,6 +98,7 @@ func main() {
 		trees    = flag.Int("trees", 3, "routing trees in the shared substrate")
 		epochs   = flag.Int("epochs", 100, "scheduler epochs (sampling cycles) to run")
 		workers  = flag.Int("workers", 1, "goroutines stepping live queries per epoch (1 = sequential, -1 = all cores; output is byte-identical at any setting)")
+		adapt    = flag.Bool("adapt", false, "enable section-6 adaptivity: re-estimate selectivities each epoch and migrate join windows on >=33% divergence")
 		seed     = flag.Uint64("seed", 1, "engine seed")
 		baseline = flag.Bool("baseline", true, "also run each query alone and report the sharing win")
 		verbose  = flag.Bool("v", false, "stream per-epoch admissions/retirements/results to stderr")
@@ -174,6 +175,7 @@ With no -f, a built-in 4-query demo workload runs.
 		Nodes:    *nodes,
 		Trees:    *trees,
 		Seed:     *seed,
+		Adapt:    *adapt,
 		Workers:  *workers,
 	}
 	// Seeded churn materializes against the EFFECTIVE deployment size
@@ -238,6 +240,10 @@ With no -f, a built-in 4-query demo workload runs.
 		fmt.Printf("node churn             %d failed, %d paths repaired in-network, %d base fallbacks, %d trees rebuilt\n",
 			rep.FailedNodes, rep.PathsRepaired, rep.BaseFallbacks, rep.TreesRebuilt)
 	}
+	if *adapt {
+		fmt.Printf("adaptivity             %d window migration(s), %d aborted to base\n",
+			rep.Migrations, rep.MigrationsAborted)
+	}
 
 	if *baseline {
 		// Baselines measure traffic only: no per-run metrics or tracing.
@@ -283,6 +289,10 @@ func buildEngine(cfg aspen.EngineConfig, jobs []aspen.QueryJob, progress io.Writ
 			if s.Repaired > 0 || s.Fallbacks > 0 {
 				fmt.Fprintf(progress, "epoch %4d    recovery: %d path(s) repaired, %d base fallback(s)\n",
 					s.Epoch, s.Repaired, s.Fallbacks)
+			}
+			if s.Migrations > 0 || s.MigrationsAborted > 0 {
+				fmt.Fprintf(progress, "epoch %4d    adaptivity: %d window migration(s), %d aborted to base\n",
+					s.Epoch, s.Migrations, s.MigrationsAborted)
 			}
 			ids := make([]string, 0, len(s.NewResults))
 			for id := range s.NewResults {

@@ -39,15 +39,21 @@ type Estimator struct {
 	// haveEstimate delays triggering until at least one full interval has
 	// been observed.
 	sinceEstimate int
+	// lastCycle is the highest cycle number EndCycle has accounted; repeat
+	// calls for the same (or an earlier) cycle are no-ops, so a stepper-side
+	// learning pass and an engine-level adaptivity phase can both close the
+	// same cycle without double-advancing the estimation clock.
+	lastCycle int
 }
 
 // New returns an estimator for a pair currently optimized with applied.
 func New(applied costmodel.Params) *Estimator {
 	return &Estimator{
-		Applied:  applied,
-		Trigger:  DefaultTrigger,
-		Interval: DefaultInterval,
-		Reset:    DefaultReset,
+		Applied:   applied,
+		Trigger:   DefaultTrigger,
+		Interval:  DefaultInterval,
+		Reset:     DefaultReset,
+		lastCycle: -1,
 	}
 }
 
@@ -76,12 +82,23 @@ func (e *Estimator) Estimates() (p costmodel.Params, ok bool) {
 	return p, true
 }
 
-// EndCycle advances the cycle clock and, on estimation boundaries, checks
-// for divergence. When the estimates diverge beyond Trigger it returns the
-// fresh parameters and triggered=true; the caller re-places the join node
-// and the estimator adopts the new parameters as Applied. Counters reset
-// on the Reset period.
-func (e *Estimator) EndCycle() (fresh costmodel.Params, triggered bool) {
+// EndCycle closes the given cycle, advancing the estimation clock by one,
+// and on estimation boundaries checks for divergence. When the estimates
+// diverge beyond Trigger it returns the fresh parameters and triggered=true;
+// the caller re-places the join node and the estimator adopts the new
+// parameters as Applied. Counters reset on the Reset period.
+//
+// EndCycle is idempotent per cycle number: closing a cycle that has already
+// been closed (or any earlier one) returns (Applied, false) without touching
+// any counter. Cycle numbers follow the Stepper BeginCycle contract — they
+// are per-query and monotonically non-decreasing, not globally unique — so
+// an estimator shared between the stepper's own learning pass and the
+// engine's adaptivity phase still advances exactly once per cycle.
+func (e *Estimator) EndCycle(cycle int) (fresh costmodel.Params, triggered bool) {
+	if cycle <= e.lastCycle {
+		return e.Applied, false
+	}
+	e.lastCycle = cycle
 	e.cycles++
 	e.sinceEstimate++
 	if e.sinceEstimate >= e.Interval {

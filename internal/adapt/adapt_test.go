@@ -53,7 +53,7 @@ func TestTriggerOnDivergence(t *testing.T) {
 		for i := 0; i < 1; i++ {
 			e.ObserveT()
 		}
-		if _, trig := e.EndCycle(); trig {
+		if _, trig := e.EndCycle(c); trig {
 			triggered = true
 		}
 	}
@@ -75,7 +75,7 @@ func TestNoTriggerWhenAccurate(t *testing.T) {
 		if c%5 == 0 {
 			e.ObserveResults(2)
 		}
-		if _, trig := e.EndCycle(); trig {
+		if _, trig := e.EndCycle(c); trig {
 			t.Fatalf("spurious trigger at cycle %d", c)
 		}
 	}
@@ -87,7 +87,7 @@ func TestCounterReset(t *testing.T) {
 	e.Interval = 100 // never estimate in this test
 	for c := 0; c < 5; c++ {
 		e.ObserveS()
-		e.EndCycle()
+		e.EndCycle(c)
 	}
 	if e.ns != 0 || e.cycles != 0 {
 		t.Fatalf("counters not reset: ns=%d cycles=%d", e.ns, e.cycles)
@@ -99,11 +99,11 @@ func TestTriggerOnlyOnIntervalBoundary(t *testing.T) {
 	e.Interval = 10
 	// Gross divergence from cycle 0, but no trigger before cycle 10.
 	for c := 0; c < 9; c++ {
-		if _, trig := e.EndCycle(); trig {
+		if _, trig := e.EndCycle(c); trig {
 			t.Fatalf("triggered mid-interval at cycle %d", c)
 		}
 	}
-	if _, trig := e.EndCycle(); !trig {
+	if _, trig := e.EndCycle(9); !trig {
 		t.Fatal("no trigger at interval boundary despite divergence")
 	}
 }
@@ -116,11 +116,116 @@ func TestAdoptedParamsStopRetriggering(t *testing.T) {
 		e.ObserveS()
 		e.ObserveT()
 		e.ObserveResults(1) // 1/(1*2) = 0.5
-		if _, trig := e.EndCycle(); trig {
+		if _, trig := e.EndCycle(c); trig {
 			trigs++
 		}
 	}
 	if trigs > 1 {
 		t.Fatalf("stable workload retriggered %d times", trigs)
+	}
+}
+
+// TestEndCycleIdempotentPerCycle is the regression test for the PR-4
+// BeginCycle contract: the stepper's own learning pass and the engine's
+// adaptivity phase may both close the same cycle, and the estimation clock
+// must advance exactly once.
+func TestEndCycleIdempotentPerCycle(t *testing.T) {
+	e := New(params(1, 1, 0.2, 1))
+	e.Interval = 10
+	// Close every cycle twice (stepper pass + engine pass). Divergence is
+	// gross (no observations against applied sigma=1), so with a correctly
+	// advancing clock the first trigger lands exactly when cycle 9 closes.
+	for c := 0; c < 9; c++ {
+		if _, trig := e.EndCycle(c); trig {
+			t.Fatalf("triggered mid-interval at cycle %d", c)
+		}
+		if _, trig := e.EndCycle(c); trig {
+			t.Fatalf("duplicate close of cycle %d advanced the clock", c)
+		}
+	}
+	if got := e.cycles; got != 9 {
+		t.Fatalf("clock advanced %d times for 9 distinct cycles", got)
+	}
+	if _, trig := e.EndCycle(9); !trig {
+		t.Fatal("no trigger at interval boundary despite divergence")
+	}
+	// A stale close (earlier cycle number) must also be a no-op.
+	if _, trig := e.EndCycle(3); trig {
+		t.Fatal("stale cycle close triggered")
+	}
+	if got := e.cycles; got != 10 {
+		t.Fatalf("stale close advanced the clock: cycles=%d", got)
+	}
+}
+
+// TestTriggerBoundary pins the strict-inequality semantics of the 33%
+// trigger at the boundary. Applied sigma_s is 1.0 and the estimator observes
+// an s tuple in the first ns of 1000 cycles, so the estimate is ns/1000 and
+// the divergence is (1000-ns)/1000 exactly. sigma_t is kept accurate (one t
+// tuple per cycle) and sigma_st is 0 on both sides so only sigma_s decides.
+func TestTriggerBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		ns   int // s observations over the 1000-cycle interval
+		want bool
+	}{
+		{"divergence 32.9% stays", 671, false},
+		{"divergence 33.0% stays (strict >)", 670, false},
+		{"divergence 33.1% triggers", 669, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(params(1.0, 1.0, 0, 1))
+			e.Interval = 1000
+			e.Reset = 1 << 30 // keep counters across the long interval
+			triggered := false
+			for c := 0; c < 1000; c++ {
+				if c < tc.ns {
+					e.ObserveS()
+				}
+				e.ObserveT()
+				if _, trig := e.EndCycle(c); trig {
+					triggered = true
+				}
+			}
+			if triggered != tc.want {
+				t.Fatalf("ns=%d: triggered=%v, want %v", tc.ns, triggered, tc.want)
+			}
+		})
+	}
+}
+
+// TestTriggerRateEdges covers the degenerate rate edges around the trigger:
+// a producer rate collapsing to zero, a zero applied rate seeing traffic (a
+// burst from a silent producer), and zero on both sides.
+func TestTriggerRateEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		applied float64 // Applied.SigmaS
+		observe bool    // one s tuple every cycle vs none
+		want    bool
+	}{
+		{"rate collapses to zero", 0.8, false, true},
+		{"burst on zero applied rate", 0, true, true},
+		{"zero rate stays zero", 0, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := New(params(tc.applied, 1.0, 0, 1))
+			triggered := false
+			for c := 0; c < DefaultInterval; c++ {
+				if tc.observe {
+					e.ObserveS()
+				}
+				e.ObserveT()
+				if _, trig := e.EndCycle(c); trig {
+					triggered = true
+				}
+			}
+			if triggered != tc.want {
+				t.Fatalf("applied=%v observe=%v: triggered=%v, want %v",
+					tc.applied, tc.observe, triggered, tc.want)
+			}
+		})
 	}
 }

@@ -261,6 +261,106 @@ func scenariosWith(override int, tr *obs.Tracer) []Scenario {
 			},
 		},
 		{
+			Name: "adapt-drift",
+			Desc: "section-6 adaptivity win: 2 queries whose true rates flip mid-run (epoch 30 of 120); engine-phase migration versus a frozen placement on identical seeds",
+			Run: func() (int64, float64) {
+				start := workload.Rates{SigmaS: 0.9, SigmaT: 0.1, SigmaST: 0.1}
+				flip := workload.Rates{SigmaS: 0.1, SigmaT: 0.9, SigmaST: 0.1}
+				run := func(adapt bool) *engine.Report {
+					e := engine.New(engine.Options{Seed: 3, Adapt: adapt})
+					for q, seed := range []uint64{11, 23} {
+						g := workload.NewGenerator(start, seed)
+						g.SetSwitch(30, flip)
+						if _, err := e.Submit(engine.QueryConfig{
+							SQL: engineSQL[q%len(engineSQL)], Rates: start, Sampler: g,
+						}); err != nil {
+							panic("bench: adapt-drift scenario submit: " + err.Error())
+						}
+					}
+					return e.Run(120)
+				}
+				off := run(false)
+				on := run(true)
+				if on.Migrations < 1 {
+					panic("bench: adapt-drift scenario never migrated")
+				}
+				if on.AggregateBytes >= off.AggregateBytes {
+					panic(fmt.Sprintf("bench: adapt-drift lost its adaptivity win: on=%d >= off=%d bytes",
+						on.AggregateBytes, off.AggregateBytes))
+				}
+				check := float64(on.Results) +
+					1e3*float64(on.Migrations) +
+					1e6*float64(on.MigrationsAborted) +
+					1e9*float64(off.Results)
+				return on.AggregateBytes, check
+			},
+		},
+		{
+			Name: "adapt-churn-1k",
+			Desc: "adaptivity under churn: the churn-1k deployment and schedule with engine-phase migration enabled (wrong initial estimates, 4-cycle estimate interval), 12 epochs",
+			Run: func() (int64, float64) {
+				const nodes = 1000
+				wrong := &costmodel.Params{SigmaS: 0.9, SigmaT: 0.1, SigmaST: 0.1}
+				alg := join.Innet{Opts: join.InnetOptions{
+					Multicast: true, GroupOpt: true, EstimateInterval: 4,
+				}}
+				mk := func(churn []engine.ChurnEvent) *engine.Engine {
+					e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom,
+						Nodes: nodes, Churn: churn, Adapt: true})
+					for q := 0; q < 2; q++ {
+						if _, err := e.Submit(engine.QueryConfig{
+							SQL: engineSQL[q%len(engineSQL)], Opt: wrong, Algorithm: alg,
+						}); err != nil {
+							panic("bench: adapt-churn-1k scenario submit: " + err.Error())
+						}
+					}
+					return e
+				}
+				probe := mk(nil)
+				probe.Run(6)
+				var mid, joinNode topology.NodeID = -1, -1
+				for _, q := range probe.Queries() {
+					res := q.Result()
+					for i, p := range res.PairPaths {
+						j := res.PairJoinNodes[i]
+						if mid < 0 {
+							for _, id := range p[1 : len(p)-1] {
+								if id != j {
+									mid = id
+									break
+								}
+							}
+						}
+						if mid >= 0 && j != mid {
+							joinNode = j
+						}
+						if mid >= 0 && joinNode >= 0 {
+							break
+						}
+					}
+				}
+				if mid < 0 || joinNode < 0 {
+					panic("bench: adapt-churn-1k probe found no victims")
+				}
+				churn := append(engine.SeededChurn(7, nodes, 12, 0.0005, 0),
+					engine.ChurnEvent{Epoch: 3, Node: mid},
+					engine.ChurnEvent{Epoch: 6, Node: joinNode})
+				rep := mk(churn).Run(12)
+				if rep.Migrations < 1 {
+					panic("bench: adapt-churn-1k scenario never migrated")
+				}
+				if rep.FailedNodes < 1 {
+					panic("bench: adapt-churn-1k scenario lost its churn coverage")
+				}
+				check := float64(rep.Results) +
+					1e3*float64(rep.Migrations) +
+					1e6*float64(rep.MigrationsAborted) +
+					1e9*float64(rep.FailedNodes) +
+					1e12*float64(rep.PathsRepaired+rep.BaseFallbacks)
+				return rep.AggregateBytes, check
+			},
+		},
+		{
 			Name: "repair",
 			Desc: "section-7 limited-exploration repair: 100-node grid, every root path through a failed hot interior node repaired via a memoized Repairer",
 			Run: func() (int64, float64) {

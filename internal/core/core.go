@@ -108,11 +108,12 @@ func (r *Replanner) ObserveT() { r.est.ObserveT() }
 // ObserveResults records produced join results.
 func (r *Replanner) ObserveResults(n int) { r.est.ObserveResults(n) }
 
-// EndCycle advances the estimator clock. When the learned selectivities
+// EndCycle closes the given cycle on the estimator clock (idempotently,
+// per the adapt.Estimator contract). When the learned selectivities
 // diverge beyond the trigger it recomputes the placement; moved reports
 // whether the join node changed (the caller then migrates the window).
-func (r *Replanner) EndCycle() (pl Placement, moved bool) {
-	fresh, triggered := r.est.EndCycle()
+func (r *Replanner) EndCycle(cycle int) (pl Placement, moved bool) {
+	fresh, triggered := r.est.EndCycle(cycle)
 	if !triggered {
 		return r.Current, false
 	}

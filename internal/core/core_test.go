@@ -90,7 +90,7 @@ func TestReplannerMigratesOnDivergence(t *testing.T) {
 			r.ObserveS()
 		}
 		r.ObserveT()
-		if _, m := r.EndCycle(); m {
+		if _, m := r.EndCycle(c); m {
 			moved = true
 			break
 		}
@@ -111,7 +111,7 @@ func TestReplannerStableWhenAccurate(t *testing.T) {
 		r.ObserveS()
 		r.ObserveT()
 		r.ObserveResults(1) // 1/(1*2) = 0.5 exactly
-		if _, moved := r.EndCycle(); moved {
+		if _, moved := r.EndCycle(c); moved {
 			t.Fatalf("spurious migration at cycle %d", c)
 		}
 	}

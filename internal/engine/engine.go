@@ -113,6 +113,19 @@ type Options struct {
 	// per-query path repair (exploration charged once to the shared
 	// stream) and memoized-route invalidation.
 	Churn []ChurnEvent
+	// Adapt enables the engine's sequential adaptivity phase (section 6
+	// at deployment scope): each epoch, after churn and recovery and
+	// before the parallel stepping section, every live query's stepper
+	// implementing join.Adaptive closes the previous epoch's sampling
+	// cycle on its selectivity estimators (fed from the stepper's own
+	// observations, never from Obs metrics) and executes any triggered
+	// window migrations. The phase is sequential and in submission order,
+	// and its traffic is charged through the same per-query ledger
+	// discipline as parallel stepping, so output stays byte-identical at
+	// any worker count. Liveness is consulted at each migration's commit
+	// point: a migration whose target died this epoch aborts into the
+	// section-7 base-station fallback.
+	Adapt bool
 	// Workers caps the goroutines Step uses to run live-query sampling
 	// cycles concurrently within an epoch: 0 or 1 is fully sequential,
 	// <0 means one worker per CPU core. Output is byte-identical at any
@@ -280,6 +293,12 @@ type EpochStats struct {
 	// TreesRebuilt the substrate routing trees rebuilt around them.
 	Failed                            []topology.NodeID
 	Repaired, Fallbacks, TreesRebuilt int
+	// Migrations counts window migrations committed by this epoch's
+	// adaptivity phase across all live queries; MigrationsAborted counts
+	// migrations abandoned at the commit point because the target node
+	// was dead (the pair fell back to the base station). Both are zero
+	// unless Options.Adapt is set.
+	Migrations, MigrationsAborted int
 }
 
 // Engine schedules continuous queries over one shared deployment.
@@ -309,6 +328,8 @@ type Engine struct {
 	churnAt map[int][]ChurnEvent
 	// Recovery totals across the run (see Report).
 	totalFailed, totalRepaired, totalFallbacks, totalRebuilds int
+	// Adaptivity totals across the run (see Report).
+	totalMigrations, totalAborted int
 	// inst is the registered instrument set (nil when Options.Obs is nil)
 	// and lane0 the scheduler's trace lane (nil when Options.Trace is
 	// nil); epochResults is the reused NewResults map handed to OnEpoch.
@@ -457,6 +478,7 @@ func (e *Engine) admit(q *Query, epoch int) {
 		e.Sub.ExtendPositionIndex(e.shared)
 	}
 	jc := join.NewConfig(e.Topo, q.net, e.Sub, q.Spec, q.sampler, q.opt, q.Cycles)
+	jc.ExternalAdapt = e.opts.Adapt
 	q.stepper = q.Alg.Start(jc)
 	q.state = Live
 	q.admitEpoch = epoch
@@ -521,8 +543,45 @@ func (e *Engine) applyChurn(epoch int, pt *phaseTimer) (failed []topology.NodeID
 	return failed, repaired, fallbacks, rebuilds
 }
 
+// applyAdapt runs the adaptivity phase (Options.Adapt): sequentially, in
+// submission order, each live query's stepper implementing join.Adaptive
+// closes the previous epoch's sampling cycle on its selectivity estimators
+// and executes any triggered window migrations against the post-recovery
+// liveness view. Queries admitted this epoch are skipped — they have no
+// completed cycle to close. All adaptivity traffic (window snapshots,
+// re-nominations, fallback replays) is charged through the query's
+// sim.ChargeBuffer ledger and merged immediately, the same discipline the
+// parallel stepping section uses, so the phase's accounting is identical
+// at any worker count.
+func (e *Engine) applyAdapt(epoch int, pt *phaseTimer) (migrated, aborted int) {
+	n := e.Topo.N()
+	for _, q := range e.queries {
+		if q.state != Live || q.admitEpoch >= epoch {
+			continue
+		}
+		ad, ok := q.stepper.(join.Adaptive)
+		if !ok {
+			continue
+		}
+		if q.ledger == nil {
+			q.ledger = sim.NewChargeBuffer(n)
+		}
+		q.net.AttachLedger(q.ledger)
+		m, a := ad.AdaptEpoch(epoch-1-q.admitEpoch, e.live)
+		q.net.DetachLedger()
+		q.net.MergeLedger(q.ledger)
+		migrated += m
+		aborted += a
+	}
+	e.totalMigrations += migrated
+	e.totalAborted += aborted
+	pt.done(phaseAdapt, epoch)
+	return migrated, aborted
+}
+
 // Step runs one scheduler epoch: admissions due this epoch, then the
-// epoch's churn events plus engine-wide failure recovery, then one
+// epoch's churn events plus engine-wide failure recovery, then the
+// sequential adaptivity phase (when Options.Adapt is set), then one
 // sampling cycle of every live query, then the deterministic merge of
 // per-query accounting (in submission order) and retirements. It reports
 // whether any query is still pending or live.
@@ -570,6 +629,14 @@ func (e *Engine) Step() bool {
 			stats.TreesRebuilt = rebuilds
 		}
 		e.observeChurn(len(failed), repaired, fallbacks, rebuilds)
+	}
+	if e.opts.Adapt {
+		migrated, aborted := e.applyAdapt(epoch, &pt)
+		if track {
+			stats.Migrations = migrated
+			stats.MigrationsAborted = aborted
+		}
+		e.observeAdapt(migrated, aborted)
 	}
 	e.stepList = e.stepList[:0]
 	for _, q := range e.queries {
@@ -759,6 +826,10 @@ type Report struct {
 	// (in-network reroutes vs pairs switched to the base station) and
 	// TreesRebuilt the substrate's tree-rebuild fallbacks.
 	FailedNodes, PathsRepaired, BaseFallbacks, TreesRebuilt int
+	// Migrations / MigrationsAborted total the adaptivity phase's window
+	// migrations over the run: committed moves and moves abandoned at the
+	// commit point because the target died (zero unless Options.Adapt).
+	Migrations, MigrationsAborted int
 	// Queries reports every submitted query in submission order.
 	Queries []QueryReport
 }
@@ -769,14 +840,16 @@ func (e *Engine) Report() *Report {
 	n := e.Topo.N()
 	sm := e.shared.Metrics()
 	rep := &Report{
-		Epochs:         e.epoch,
-		Nodes:          n,
-		SharedBytes:    sm.TotalBytes,
-		SharedMessages: sm.TotalMessages,
-		FailedNodes:    e.totalFailed,
-		PathsRepaired:  e.totalRepaired,
-		BaseFallbacks:  e.totalFallbacks,
-		TreesRebuilt:   e.totalRebuilds,
+		Epochs:            e.epoch,
+		Nodes:             n,
+		SharedBytes:       sm.TotalBytes,
+		SharedMessages:    sm.TotalMessages,
+		FailedNodes:       e.totalFailed,
+		PathsRepaired:     e.totalRepaired,
+		BaseFallbacks:     e.totalFallbacks,
+		TreesRebuilt:      e.totalRebuilds,
+		Migrations:        e.totalMigrations,
+		MigrationsAborted: e.totalAborted,
 	}
 	for _, q := range e.queries {
 		qr := QueryReport{

@@ -21,18 +21,19 @@ const (
 	phaseAdmit = iota
 	phaseChurn
 	phaseRecover
+	phaseAdapt
 	phaseStep
 	phaseMerge
 	numPhases
 )
 
-var phaseNames = [numPhases]string{"admit", "churn", "recover", "step", "merge"}
+var phaseNames = [numPhases]string{"admit", "churn", "recover", "adapt", "step", "merge"}
 
 // phaseSpanNames are precomputed so closing a phase never builds a string
 // on the metrics-only path (the concat would allocate even with tracing
 // off).
 var phaseSpanNames = [numPhases]string{
-	"phase:admit", "phase:churn", "phase:recover", "phase:step", "phase:merge",
+	"phase:admit", "phase:churn", "phase:recover", "phase:adapt", "phase:step", "phase:merge",
 }
 
 // instruments is the engine's registered instrument set. The taxonomy
@@ -55,6 +56,9 @@ type instruments struct {
 	repaired  obs.Counter
 	fallbacks obs.Counter
 	rebuilds  obs.Counter
+
+	migrations obs.Counter
+	migAborted obs.Counter
 
 	sharedBytes obs.Gauge
 	queryBytes  obs.Gauge
@@ -89,6 +93,9 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 		repaired:  reg.Counter("churn.paths_repaired"),
 		fallbacks: reg.Counter("churn.base_fallbacks"),
 		rebuilds:  reg.Counter("churn.trees_rebuilt"),
+
+		migrations: reg.Counter("adapt.migrations"),
+		migAborted: reg.Counter("adapt.migrations_aborted"),
 
 		sharedBytes: reg.Gauge("sim.shared.bytes"),
 		queryBytes:  reg.Gauge("sim.query.bytes"),
@@ -181,11 +188,15 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 
 	sm := e.shared.Metrics()
 	in.sharedBytes.Set(sm.TotalBytes)
+	// Migration traffic is control-plane traffic: its ledger class stays
+	// distinct for test assertions, but the published gauge folds it into
+	// sim.bytes.control.
 	var kind [3]int64
 	drops, retrans := sm.Drops, sm.Retransmissions
 	for k := sim.Control; k <= sim.Result; k++ {
 		kind[k] = sm.KindBytes(k)
 	}
+	kind[sim.Control] += sm.KindBytes(sim.Migration)
 	var queryBytes int64
 	for _, q := range e.queries {
 		if q.state == Pending {
@@ -198,6 +209,7 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 		for k := sim.Control; k <= sim.Result; k++ {
 			kind[k] += m.KindBytes(k)
 		}
+		kind[sim.Control] += m.KindBytes(sim.Migration)
 	}
 	in.queryBytes.Set(queryBytes)
 	in.drops.Set(drops)
@@ -218,6 +230,16 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 		}
 	}
 	in.joinTuples.Set(tuples)
+}
+
+// observeAdapt folds one epoch's adaptivity outcome into the counters.
+func (e *Engine) observeAdapt(migrated, aborted int) {
+	in := e.inst
+	if in == nil {
+		return
+	}
+	in.migrations.Add(int64(migrated))
+	in.migAborted.Add(int64(aborted))
 }
 
 // observeChurn folds one epoch's recovery outcome into the counters.

@@ -195,7 +195,10 @@ func (in Innet) Start(cfg *Config) Stepper {
 func (e *engine) Step(cycle int) {
 	maybeFail(e.cfg, cycle)
 	e.runCycle(cycle)
-	if e.opts.Learn {
+	// With external adaptivity the engine's sequential phase closes the
+	// cycle on the estimators and owns migration; running the stepper-side
+	// pass too would migrate from inside the parallel section.
+	if e.opts.Learn && !e.cfg.ExternalAdapt {
 		e.endCycleLearning(cycle)
 	}
 }
@@ -257,7 +260,7 @@ func (e *engine) initiate() {
 			e.placePair(p, cfg.Opt, true)
 			e.pairs = append(e.pairs, p)
 			e.pairsOfS[s] = append(e.pairsOfS[s], p)
-			if e.opts.Learn {
+			if e.opts.Learn || cfg.ExternalAdapt {
 				p.est = adapt.New(e.placementParams(cfg.Opt))
 				if e.opts.Trigger > 0 {
 					p.est.Trigger = e.opts.Trigger
@@ -959,7 +962,7 @@ func (e *engine) endCycleLearning(cycle int) {
 		if p.dead || p.est == nil {
 			continue
 		}
-		fresh, triggered := p.est.EndCycle()
+		fresh, triggered := p.est.EndCycle(cycle)
 		if !triggered {
 			continue
 		}
@@ -979,17 +982,84 @@ func (e *engine) migratePair(p *pairState, learned costmodel.Params) {
 	oldIdx := p.jIdx
 	oldNode := p.joinNode()
 	e.placePairQuiet(p, learned)
-	if p.jIdx == oldIdx {
+	e.commitMigration(p, oldIdx, oldNode)
+}
+
+// migratePairChecked is the engine-phase variant of migratePair: the
+// re-placement decision is the nomination point, and live — the shared
+// deployment view — is consulted again at the commit point. A migration
+// whose target node died between optimization and commit aborts into the
+// section-7 base-station fallback: the pair re-joins at the base with its
+// producers' retained windows replayed once, and no window state is
+// installed at (or left registered to) the dead target. Returns
+// (1,0) for a committed move, (0,1) for an abort, (0,0) when the
+// placement did not change.
+func (e *engine) migratePairChecked(p *pairState, learned costmodel.Params, live *topology.Liveness) (migrated, aborted int) {
+	oldIdx := p.jIdx
+	oldNode := p.joinNode()
+	e.placePairQuiet(p, learned)
+	if p.jIdx == oldIdx || p.joinNode() == oldNode {
+		p.jIdx = oldIdx
+		return 0, 0
+	}
+	if p.jIdx >= 0 && live != nil && !live.Alive(p.joinNode()) {
+		// Commit-point check failed: the nominated target is dead. Restore
+		// the old placement first so the fallback unregisters the correct
+		// (live) node, then take the shared section-7 path.
+		p.jIdx = oldIdx
+		e.res.MigrationsAborted++
+		if oldIdx >= 0 {
+			e.fallbackToBase(p)
+			e.replayWindowToBase(e.prodS[p.s])
+			e.replayWindowToBase(e.prodT[p.t])
+			if e.opts.Multicast {
+				e.rebuildTree(e.prodS[p.s], true)
+				e.rebuildTree(e.prodT[p.t], true)
+			}
+		}
+		// oldIdx < 0: the pair was already joining at the base; nothing
+		// moved, nothing to replay — the base still holds the window.
+		return 0, 1
+	}
+	e.commitMigration(p, oldIdx, oldNode)
+	return 1, 0
+}
+
+// commitMigration finalizes a re-placement already written to p.jIdx:
+// the producers are re-nominated toward the new join node and the pair's
+// window ships over, all charged as sim.Migration traffic. No-op when the
+// placement did not actually move.
+func (e *engine) commitMigration(p *pairState, oldIdx int, oldNode topology.NodeID) {
+	if p.jIdx == oldIdx || p.joinNode() == oldNode {
+		p.jIdx = oldIdx
 		return
 	}
+	if p.jIdx >= 0 {
+		e.nominateMigration(p)
+	}
+	e.transferWindow(p, oldIdx, oldNode)
+}
+
+// nominateMigration notifies the producers about an in-network join node
+// chosen by a migration (the section 3.2 nomination exchange, charged to
+// the migration traffic class).
+func (e *engine) nominateMigration(p *pairState) {
+	e.cfg.Net.Transfer(p.tSegment(), nominationBytes, sim.Migration, sim.Flow{})
+	e.cfg.Net.Transfer(routing.Path(p.path[:p.jIdx+1]).Reverse(), nominationBytes, sim.Migration, sim.Flow{})
+}
+
+// transferWindow moves the pair's join window from oldNode to the
+// placement already written to p.jIdx: snapshot at the old node, ship
+// along the connecting path (charged as sim.Migration), restore at the new
+// node. Producer windows are physically shared by every pair colocated at
+// a node, so the restore skips producers the target already buffers — the
+// live window there is current, and pushing the snapshot on top would
+// duplicate tuples and hence join results. Registration moves through
+// unregisterPair so a producer with no remaining pairs at the old node
+// drops its window rather than leaving stale tuples behind.
+func (e *engine) transferWindow(p *pairState, oldIdx int, oldNode topology.NodeID) {
 	newNode := p.joinNode()
-	if newNode == oldNode {
-		return
-	}
-	// Transfer the join window: snapshot at the old node, ship along the
-	// connecting path, restore at the new node.
-	oldState := e.stateAt(oldNode)
-	tuples, bytes := oldState.Snapshot(p.s, p.t)
+	tuples, bytes := e.stateAt(oldNode).Snapshot(p.s, p.t)
 	var path routing.Path
 	switch {
 	case oldIdx < 0: // base -> in-network
@@ -999,32 +1069,131 @@ func (e *engine) migratePair(p *pairState, learned costmodel.Params) {
 	default: // along the pair path
 		lo, hi := oldIdx, p.jIdx
 		if lo > hi {
-			seg := routing.Path(p.path[hi : lo+1]).Reverse()
-			path = seg
+			path = routing.Path(p.path[hi : lo+1]).Reverse()
 		} else {
 			path = routing.Path(p.path[lo : hi+1])
 		}
 	}
 	delivered := true
 	if bytes > 0 {
-		delivered, _ = e.cfg.Net.Transfer(path, bytes, sim.Control, sim.Flow{})
+		delivered, _ = e.cfg.Net.Transfer(path, bytes, sim.Migration, sim.Flow{})
 	}
-	// Nominate/notify the producers about the new join node.
-	if p.jIdx >= 0 {
-		e.cfg.Net.Transfer(p.tSegment(), nominationBytes, sim.Control, sim.Flow{})
-		e.cfg.Net.Transfer(routing.Path(p.path[:p.jIdx+1]).Reverse(), nominationBytes, sim.Control, sim.Flow{})
-	}
-	oldState.RemovePair(p.s, p.t)
+	newIdx := p.jIdx
+	p.jIdx = oldIdx
+	e.unregisterPair(p)
+	p.jIdx = newIdx
 	newState := e.stateAt(newNode)
+	skipS := newState.WindowLen(p.s) > 0
+	skipT := newState.WindowLen(p.t) > 0
 	newState.AddPair(p.s, p.t)
 	if delivered {
-		newState.Restore(tuples)
+		keep := tuples[:0]
+		for _, tp := range tuples {
+			if (tp.Producer == p.s && skipS) || (tp.Producer == p.t && skipT) {
+				continue
+			}
+			keep = append(keep, tp)
+		}
+		newState.Restore(keep)
 	}
 	e.res.Migrations++
 	if e.opts.Multicast {
 		e.rebuildTree(e.prodS[p.s], true)
 		e.rebuildTree(e.prodT[p.t], true)
 	}
+}
+
+// AdaptEpoch implements Adaptive: the engine-driven, epoch-boundary
+// analogue of endCycleLearning. It closes the given cycle on every live
+// pair's estimator — a no-op for cycles the stepper already closed, per the
+// adapt.Estimator idempotence contract — and re-optimizes on every
+// trigger. Ungrouped pairs run the individual checked migration; grouped
+// pairs are re-decided once per group per epoch with the triggering
+// pair's fresh estimates as the authority, so the individual and group
+// optima never fight each other across epochs (the stepper-era
+// migrate-then-sync sequence ping-ponged placements and discarded window
+// contents on every group move).
+func (e *engine) AdaptEpoch(cycle int, live *topology.Liveness) (migrated, aborted int) {
+	adaptedGroups := map[int]bool{}
+	for _, p := range e.pairs {
+		if p.dead || p.est == nil {
+			continue
+		}
+		fresh, triggered := p.est.EndCycle(cycle)
+		if !triggered {
+			continue
+		}
+		if e.opts.GroupOpt && p.group >= 0 {
+			if !adaptedGroups[p.group] {
+				adaptedGroups[p.group] = true
+				m, a := e.adaptGroup(e.groups[p.group], fresh, live)
+				migrated += m
+				aborted += a
+			}
+			continue
+		}
+		m, a := e.migratePairChecked(p, fresh, live)
+		migrated += m
+		aborted += a
+	}
+	return migrated, aborted
+}
+
+// adaptGroup re-optimizes one GROUPOPT group with fresh estimates: every
+// in-network pair is individually re-placed (quietly — the nomination
+// point), then the group-level base-versus-in-network decision runs with
+// its usual coordination and nomination charging, and finally each move is
+// committed. The commit loop is where liveness is consulted: a pair whose
+// new join node died this epoch aborts into the section-7 base fallback,
+// every other move transfers its window so no results are lost or
+// duplicated across the migration.
+func (e *engine) adaptGroup(group []*pairState, fresh costmodel.Params, live *topology.Liveness) (migrated, aborted int) {
+	oldIdx := make([]int, len(group))
+	oldNode := make([]topology.NodeID, len(group))
+	for i, p := range group {
+		oldIdx[i], oldNode[i] = p.jIdx, p.joinNode()
+		if !p.dead && p.jIdx >= 0 {
+			e.placePairQuiet(p, fresh)
+		}
+	}
+	e.groupDecision(group, fresh, true)
+	for i, p := range group {
+		if p.dead || p.jIdx == oldIdx[i] {
+			continue
+		}
+		if p.joinNode() == oldNode[i] {
+			p.jIdx = oldIdx[i]
+			continue
+		}
+		if p.jIdx >= 0 && live != nil && !live.Alive(p.joinNode()) {
+			// Commit-point check failed: the group decision nominated a
+			// node that died this epoch. Fall back to the base station
+			// with the windows replayed (section 7), never installing
+			// state at the dead target.
+			p.jIdx = oldIdx[i]
+			e.res.MigrationsAborted++
+			aborted++
+			if oldIdx[i] >= 0 {
+				e.fallbackToBase(p)
+				e.replayWindowToBase(e.prodS[p.s])
+				e.replayWindowToBase(e.prodT[p.t])
+				if e.opts.Multicast {
+					e.rebuildTree(e.prodS[p.s], true)
+					e.rebuildTree(e.prodT[p.t], true)
+				}
+			}
+			continue
+		}
+		if oldIdx[i] >= 0 && p.jIdx >= 0 {
+			// In-network repositioning came from the quiet individual
+			// pass; base-to-in-network moves were already nominated by
+			// the group decision's charged placement.
+			e.nominateMigration(p)
+		}
+		e.transferWindow(p, oldIdx[i], oldNode[i])
+		migrated++
+	}
+	return migrated, aborted
 }
 
 // placePairQuiet re-places without nomination charges (migration charges

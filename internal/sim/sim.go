@@ -51,6 +51,13 @@ const (
 	Data
 	// Result covers join outputs flowing to the base station.
 	Result
+	// Migration covers section-6 adaptivity traffic: window snapshots in
+	// flight to a re-placed join node plus the accompanying nomination
+	// handoffs. Observability folds this class into the control gauge
+	// (sim.bytes.control) — it is control-plane traffic — but keeping a
+	// distinct ledger class lets tests assert migrations are charged
+	// exactly once.
+	Migration
 )
 
 // String returns the metric label for the kind.
@@ -62,6 +69,8 @@ func (k MsgKind) String() string {
 		return "data"
 	case Result:
 		return "result"
+	case Migration:
+		return "migration"
 	default:
 		return fmt.Sprintf("MsgKind(%d)", uint8(k))
 	}
@@ -86,7 +95,7 @@ type Metrics struct {
 	// NodeMessages[i] is transmission attempts by node i.
 	NodeMessages []int64
 	// ByKind breaks TotalBytes down by traffic class.
-	ByKind [3]int64
+	ByKind [4]int64
 	// Drops counts messages abandoned after exhausting retransmissions.
 	Drops int64
 	// Retransmissions counts extra attempts beyond the first, per hop.
