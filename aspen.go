@@ -21,6 +21,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/ght"
 	"repro/internal/join"
 	"repro/internal/obs"
@@ -346,6 +347,101 @@ func SeededChurn(seed uint64, nodes, epochs int, rate float64, reviveAfter int) 
 	return out
 }
 
+// RetryPolicy configures the per-hop ARQ model every transfer in the
+// deployment pays: how many retransmissions a hop attempts before the
+// message is dropped, optionally per traffic class, and a linear backoff
+// byte cost per retransmission. Build one with NewRetryPolicy and override
+// fields — the zero value means "no retries for any class", which is
+// expressible but rarely wanted.
+type RetryPolicy struct {
+	// MaxRetries bounds retransmissions per hop after the first attempt
+	// for classes without an override (the paper's mote setting is 3).
+	MaxRetries int
+	// Control / Data / Result / Migration override MaxRetries for one
+	// traffic class when >= 0; negative values (what NewRetryPolicy sets)
+	// inherit MaxRetries.
+	Control, Data, Result, Migration int
+	// BackoffBytes charges this many extra bytes per retransmission to
+	// the transmitting node — radio listen/backoff energy, not frames, so
+	// it never adds messages. 0 disables the backoff cost model.
+	BackoffBytes int
+}
+
+// NewRetryPolicy returns a policy retrying every class maxRetries times
+// with no backoff cost; NewRetryPolicy(3) is the engine default.
+func NewRetryPolicy(maxRetries int) RetryPolicy {
+	return RetryPolicy{MaxRetries: maxRetries, Control: -1, Data: -1, Result: -1, Migration: -1}
+}
+
+func (p RetryPolicy) policy() sim.RetryPolicy {
+	return sim.RetryPolicy{
+		MaxRetries:   p.MaxRetries,
+		PerKind:      [4]int{p.Control, p.Data, p.Result, p.Migration},
+		BackoffBytes: p.BackoffBytes,
+	}
+}
+
+// PartitionWindow schedules one network partition in a FaultConfig: for
+// epochs in [From, Until) a set of radio links is cut, splitting the
+// deployment. Region < 0 bisects the field at the median x coordinate;
+// Region 0..3 severs the workload's horizontal region band from the rest
+// (the bands Query 2 joins across).
+type PartitionWindow struct {
+	From, Until int
+	Region      int
+}
+
+// FaultConfig describes a deterministic link-fault plan for an Engine's
+// deployment: a seeded layer of per-link loss, transient link failures,
+// duplication, bounded delay, and scheduled partitions, drawn once from
+// Seed so every run of the same config injects the identical fault
+// sequence at any worker count. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed derives the whole plan (0 uses the engine seed).
+	Seed uint64
+	// LinkLoss adds heterogeneous per-link loss on top of the uniform
+	// LossProb: each link draws extra loss in [0.5, 1.5) x LinkLoss.
+	LinkLoss float64
+	// LinkFailRate fails each healthy link per epoch with this
+	// probability; LinkReviveAfter revives a failed link that many epochs
+	// later (0 = permanent link failures).
+	LinkFailRate    float64
+	LinkReviveAfter int
+	// DupProb delivers a duplicate copy of a delivered message with this
+	// per-link probability (charged, counted, discarded by the receiver).
+	DupProb float64
+	// DelayMax assigns each link a fixed delivery delay in [0, DelayMax]
+	// transmission slots (accounted, never reordering).
+	DelayMax int
+	// Partitions schedules network splits (see PartitionWindow).
+	Partitions []PartitionWindow
+}
+
+func (c *FaultConfig) config(seed uint64) *faults.Config {
+	if c == nil {
+		return nil
+	}
+	out := &faults.Config{
+		Seed:            c.Seed,
+		LinkLoss:        c.LinkLoss,
+		LinkFailRate:    c.LinkFailRate,
+		LinkReviveAfter: c.LinkReviveAfter,
+		DupProb:         c.DupProb,
+		DelayMax:        c.DelayMax,
+	}
+	if out.Seed == 0 {
+		out.Seed = seed
+	}
+	for _, p := range c.Partitions {
+		fp := faults.Partition{From: p.From, Until: p.Until, Kind: faults.Bisect}
+		if p.Region >= 0 {
+			fp.Kind, fp.Region = faults.Region, p.Region
+		}
+		out.Partitions = append(out.Partitions, fp)
+	}
+	return out
+}
+
 // EngineConfig describes the shared deployment a multi-query Engine
 // schedules over.
 type EngineConfig struct {
@@ -359,6 +455,17 @@ type EngineConfig struct {
 	Seed uint64
 	// LossProb is the per-hop loss probability (default 5%).
 	LossProb *float64
+	// MaxRetries bounds per-hop retransmissions for every traffic class:
+	// 0 means the default (3, the paper's mote setting), a negative value
+	// disables retries entirely. Ignored when Retry is set.
+	MaxRetries int
+	// Retry, when non-nil, installs a full per-class retry/backoff policy
+	// (see RetryPolicy); it takes precedence over MaxRetries.
+	Retry *RetryPolicy
+	// Faults, when non-nil, installs a deterministic link-fault plan —
+	// lossy links, transient link failures, duplication, delay, scheduled
+	// partitions — on the shared deployment (see FaultConfig).
+	Faults *FaultConfig
 	// Churn is the deployment's fail/revive schedule (empty = no churn).
 	Churn []ChurnEvent
 	// Adapt enables the engine's adaptivity phase: each epoch, after churn
@@ -471,6 +578,19 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		opts.LossProb = *cfg.LossProb
 		opts.Lossless = *cfg.LossProb == 0
 	}
+	opts.Faults = cfg.Faults.config(seed)
+	switch {
+	case cfg.Retry != nil:
+		p := cfg.Retry.policy()
+		opts.Retry = &p
+	case cfg.MaxRetries != 0:
+		p := sim.DefaultRetryPolicy()
+		p.MaxRetries = cfg.MaxRetries
+		if p.MaxRetries < 0 {
+			p.MaxRetries = 0
+		}
+		opts.Retry = &p
+	}
 	nodes := engine.EffectiveNodes(kind, cfg.Nodes)
 	for _, ev := range cfg.Churn {
 		if ev.Node <= 0 || ev.Node >= nodes {
@@ -554,6 +674,12 @@ type EpochStats struct {
 	// migrations this epoch: committed moves vs moves abandoned because
 	// the target node was dead (zero unless EngineConfig.Adapt).
 	Migrations, MigrationsAborted int
+	// LinkRerouted / LinkFallbacks count the link-fault recovery pass's
+	// outcomes this epoch — paths detoured around cut links vs pairs moved
+	// to the base station; ResultsLost counts join results whose delivery
+	// exhausted the retry policy this epoch (zero without
+	// EngineConfig.Faults).
+	LinkRerouted, LinkFallbacks, ResultsLost int
 }
 
 // OnEpoch registers a hook streamed after every scheduler epoch (nil
@@ -575,6 +701,9 @@ func (e *Engine) OnEpoch(fn func(EpochStats)) {
 			TreesRebuilt:      s.TreesRebuilt,
 			Migrations:        s.Migrations,
 			MigrationsAborted: s.MigrationsAborted,
+			LinkRerouted:      s.LinkRerouted,
+			LinkFallbacks:     s.LinkFallbacks,
+			ResultsLost:       s.ResultsLost,
 		}
 		for _, id := range s.Failed {
 			out.Failed = append(out.Failed, int(id))
@@ -718,6 +847,9 @@ type QueryEngineReport struct {
 	MaxNodeBytes            int64
 	BytesPerNode            float64
 	Results                 int
+	// ResultsLost counts join results the query computed whose delivery
+	// exhausted the retry policy — explicit observable loss, never silent.
+	ResultsLost             int
 	MeanDelay               float64
 	InNetPairs, AtBasePairs int
 }
@@ -741,7 +873,12 @@ type EngineReport struct {
 	// Migrations / MigrationsAborted total the adaptivity phase's window
 	// migrations over the run (zero unless EngineConfig.Adapt).
 	Migrations, MigrationsAborted int
-	Queries                       []QueryEngineReport
+	// ResultsLost totals policy-exhausted result losses across queries;
+	// LinkRerouted / LinkFallbacks are the link-fault recovery pass's
+	// cumulative outcomes and PartitionEpochs counts epochs a scheduled
+	// partition was active (all zero unless EngineConfig.Faults).
+	ResultsLost, LinkRerouted, LinkFallbacks, PartitionEpochs int
+	Queries                                                   []QueryEngineReport
 }
 
 func engineReport(r *engine.Report) *EngineReport {
@@ -759,6 +896,10 @@ func engineReport(r *engine.Report) *EngineReport {
 		TreesRebuilt:          r.TreesRebuilt,
 		Migrations:            r.Migrations,
 		MigrationsAborted:     r.MigrationsAborted,
+		ResultsLost:           r.ResultsLost,
+		LinkRerouted:          r.LinkRerouted,
+		LinkFallbacks:         r.LinkFallbacks,
+		PartitionEpochs:       r.PartitionEpochs,
 	}
 	for _, q := range r.Queries {
 		out.Queries = append(out.Queries, QueryEngineReport{
@@ -773,6 +914,7 @@ func engineReport(r *engine.Report) *EngineReport {
 			MaxNodeBytes: q.MaxNodeBytes,
 			BytesPerNode: q.BytesPerNode,
 			Results:      q.Results,
+			ResultsLost:  q.ResultsLost,
 			MeanDelay:    q.MeanDelay,
 			InNetPairs:   q.InNetPairs,
 			AtBasePairs:  q.AtBasePairs,

@@ -32,6 +32,14 @@
 //	-- churn: <rate> @ <seed>      seeded random churn (per-epoch fail
 //	                               probability; failures permanent)
 //
+// Fault directives (also deployment-level) build a deterministic
+// link-fault plan — lossy links, transient link failures, partitions:
+//
+//	-- loss: <rate> [@ <seed>]               heterogeneous per-link loss
+//	-- link-fail: <rate> [@ <revive>]        per-epoch link failures
+//	-- partition: [bisect|region <k> @] <from>..<until>   scheduled split
+//	-- max-retries: <n>                      per-hop retry bound (<0 = none)
+//
 // Example block (one directive per line):
 //
 //	-- id: left-half
@@ -99,6 +107,9 @@ func main() {
 		epochs   = flag.Int("epochs", 100, "scheduler epochs (sampling cycles) to run")
 		workers  = flag.Int("workers", 1, "goroutines stepping live queries per epoch (1 = sequential, -1 = all cores; output is byte-identical at any setting)")
 		adapt    = flag.Bool("adapt", false, "enable section-6 adaptivity: re-estimate selectivities each epoch and migrate join windows on >=33% divergence")
+		loss     = flag.Float64("loss", -1, "uniform per-hop loss probability (default: the engine's 5%; 0 = lossless)")
+		maxRetry = flag.Int("max-retries", 0, "per-hop retransmission bound for every traffic class (0 = engine default of 3, negative = no retries)")
+		retryPol = flag.String("retry-policy", "", "full retry/backoff policy, e.g. \"max=3,control=5,data=2,backoff=8\" (keys: max, control, data, result, migration, backoff); overrides -max-retries")
 		seed     = flag.Uint64("seed", 1, "engine seed")
 		baseline = flag.Bool("baseline", true, "also run each query alone and report the sharing win")
 		verbose  = flag.Bool("v", false, "stream per-epoch admissions/retirements/results to stderr")
@@ -140,6 +151,14 @@ own; collected into one engine-wide schedule):
   -- churn: <rate> @ <seed>     seeded random churn (per-epoch fail
                                 probability; @ <seed> optional)
 
+deployment fault directives (same scoping; build one link-fault plan):
+
+  -- loss: <rate> [@ <seed>]    heterogeneous per-link loss layer
+  -- link-fail: <rate> [@ <n>]  per-epoch link failures (revive after n)
+  -- partition: [bisect|region <k> @] <from>..<until>
+                                cut the field in two for epochs from..until
+  -- max-retries: <n>           per-hop retry bound (negative = none)
+
 example block:
 
   -- id: left-right
@@ -162,7 +181,7 @@ With no -f, a built-in 4-query demo workload runs.
 		}
 		src = string(data)
 	}
-	jobs, churn, err := parseWorkload(src)
+	jobs, churn, fault, err := parseWorkload(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -177,6 +196,23 @@ With no -f, a built-in 4-query demo workload runs.
 		Seed:     *seed,
 		Adapt:    *adapt,
 		Workers:  *workers,
+	}
+	if *loss >= 0 {
+		cfg.LossProb = loss
+	}
+	cfg.MaxRetries = *maxRetry
+	if fault.maxRetries != 0 {
+		cfg.MaxRetries = fault.maxRetries
+	}
+	if *retryPol != "" {
+		p, err := parseRetryPolicy(*retryPol)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Retry = p
+	}
+	if fault.set {
+		cfg.Faults = &fault.cfg
 	}
 	// Seeded churn materializes against the EFFECTIVE deployment size
 	// (Intel pins 54 motes regardless of -nodes).
@@ -240,6 +276,10 @@ With no -f, a built-in 4-query demo workload runs.
 		fmt.Printf("node churn             %d failed, %d paths repaired in-network, %d base fallbacks, %d trees rebuilt\n",
 			rep.FailedNodes, rep.PathsRepaired, rep.BaseFallbacks, rep.TreesRebuilt)
 	}
+	if rep.ResultsLost > 0 || rep.LinkRerouted > 0 || rep.LinkFallbacks > 0 || rep.PartitionEpochs > 0 {
+		fmt.Printf("link faults            %d result(s) lost, %d path(s) rerouted, %d base fallback(s), %d partition epoch(s)\n",
+			rep.ResultsLost, rep.LinkRerouted, rep.LinkFallbacks, rep.PartitionEpochs)
+	}
 	if *adapt {
 		fmt.Printf("adaptivity             %d window migration(s), %d aborted to base\n",
 			rep.Migrations, rep.MigrationsAborted)
@@ -293,6 +333,13 @@ func buildEngine(cfg aspen.EngineConfig, jobs []aspen.QueryJob, progress io.Writ
 			if s.Migrations > 0 || s.MigrationsAborted > 0 {
 				fmt.Fprintf(progress, "epoch %4d    adaptivity: %d window migration(s), %d aborted to base\n",
 					s.Epoch, s.Migrations, s.MigrationsAborted)
+			}
+			if s.LinkRerouted > 0 || s.LinkFallbacks > 0 {
+				fmt.Fprintf(progress, "epoch %4d    link faults: %d path(s) rerouted, %d base fallback(s)\n",
+					s.Epoch, s.LinkRerouted, s.LinkFallbacks)
+			}
+			if s.ResultsLost > 0 {
+				fmt.Fprintf(progress, "epoch %4d    %d result(s) lost to link faults\n", s.Epoch, s.ResultsLost)
 			}
 			ids := make([]string, 0, len(s.NewResults))
 			for id := range s.NewResults {
@@ -382,27 +429,38 @@ func (c churnSpec) schedule(nodes, epochs int) []aspen.ChurnEvent {
 	return out
 }
 
+// faultSpec collects the deployment-level fault directives of a workload
+// file: the link-fault plan plus a retry-bound override.
+type faultSpec struct {
+	cfg aspen.FaultConfig
+	// maxRetries mirrors the max-retries directive (0 = unset).
+	maxRetries int
+	// set reports whether any fault-plan directive appeared.
+	set bool
+}
+
 // parseWorkload splits src into blank-line-separated blocks and parses
-// each into a QueryJob, collecting deployment-level churn directives
-// (which may form blocks of their own) into the returned churnSpec.
-func parseWorkload(src string) ([]aspen.QueryJob, churnSpec, error) {
+// each into a QueryJob, collecting deployment-level churn and fault
+// directives (which may form blocks of their own) into the returned specs.
+func parseWorkload(src string) ([]aspen.QueryJob, churnSpec, faultSpec, error) {
 	var jobs []aspen.QueryJob
 	var churn churnSpec
+	var fault faultSpec
 	for bi, block := range splitBlocks(src) {
 		var job aspen.QueryJob
 		var sqlLines []string
-		churnDirectives := 0
+		deployDirectives := 0
 		for _, line := range strings.Split(block, "\n") {
 			trimmed := strings.TrimSpace(line)
 			if strings.HasPrefix(trimmed, "#") {
 				continue
 			}
 			if strings.HasPrefix(trimmed, "--") {
-				n, err := applyDirective(&job, &churn, strings.TrimSpace(strings.TrimPrefix(trimmed, "--")))
+				n, err := applyDirective(&job, &churn, &fault, strings.TrimSpace(strings.TrimPrefix(trimmed, "--")))
 				if err != nil {
-					return nil, churnSpec{}, fmt.Errorf("block %d: %w", bi+1, err)
+					return nil, churnSpec{}, faultSpec{}, fmt.Errorf("block %d: %w", bi+1, err)
 				}
-				churnDirectives += n
+				deployDirectives += n
 				continue
 			}
 			if trimmed != "" {
@@ -411,18 +469,90 @@ func parseWorkload(src string) ([]aspen.QueryJob, churnSpec, error) {
 		}
 		sql := strings.TrimSuffix(strings.Join(sqlLines, "\n"), ";")
 		if sql != "" && job.Query != "" {
-			return nil, churnSpec{}, fmt.Errorf("block %d: has both SQL text and a 'query:' directive", bi+1)
+			return nil, churnSpec{}, faultSpec{}, fmt.Errorf("block %d: has both SQL text and a 'query:' directive", bi+1)
 		}
 		job.SQL = sql
 		if job.SQL == "" && job.Query == "" {
-			if churnDirectives > 0 && job == (aspen.QueryJob{}) {
-				continue // a pure churn block describes the deployment, not a query
+			if deployDirectives > 0 && job == (aspen.QueryJob{}) {
+				continue // a pure churn/fault block describes the deployment, not a query
 			}
-			return nil, churnSpec{}, fmt.Errorf("block %d: no SQL statement and no 'query:' directive", bi+1)
+			return nil, churnSpec{}, faultSpec{}, fmt.Errorf("block %d: no SQL statement and no 'query:' directive", bi+1)
 		}
 		jobs = append(jobs, job)
 	}
-	return jobs, churn, nil
+	return jobs, churn, fault, nil
+}
+
+// parsePartition parses a partition directive value: "<from>..<until>"
+// or "bisect @ <from>..<until>" splits the field at the median x;
+// "region <k> @ <from>..<until>" severs region band k (0..3).
+func parsePartition(value string) (aspen.PartitionWindow, error) {
+	p := aspen.PartitionWindow{Region: -1}
+	window := value
+	if kindStr, winStr, hasKind := strings.Cut(value, "@"); hasKind {
+		window = strings.TrimSpace(winStr)
+		kind := strings.Fields(strings.ToLower(strings.TrimSpace(kindStr)))
+		switch {
+		case len(kind) == 1 && kind[0] == "bisect":
+		case len(kind) == 2 && kind[0] == "region":
+			n, err := strconv.Atoi(kind[1])
+			if err != nil || n < 0 || n > 3 {
+				return p, fmt.Errorf("partition region: want 0..3, got %q", kind[1])
+			}
+			p.Region = n
+		default:
+			return p, fmt.Errorf("partition: want \"bisect\" or \"region <0..3>\", got %q", strings.TrimSpace(kindStr))
+		}
+	}
+	fromStr, untilStr, ok := strings.Cut(window, "..")
+	if !ok {
+		return p, fmt.Errorf("partition window: want \"<from>..<until>\", got %q", window)
+	}
+	var err error
+	if p.From, err = strconv.Atoi(strings.TrimSpace(fromStr)); err != nil {
+		return p, fmt.Errorf("partition from: %w", err)
+	}
+	if p.Until, err = strconv.Atoi(strings.TrimSpace(untilStr)); err != nil {
+		return p, fmt.Errorf("partition until: %w", err)
+	}
+	return p, nil
+}
+
+// parseRetryPolicy parses the -retry-policy flag: comma-separated
+// key=value pairs over max, control, data, result, migration, backoff.
+func parseRetryPolicy(s string) (*aspen.RetryPolicy, error) {
+	p := aspen.NewRetryPolicy(3)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("retry-policy: want key=value, got %q", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, fmt.Errorf("retry-policy %s: %w", strings.TrimSpace(k), err)
+		}
+		switch strings.TrimSpace(strings.ToLower(k)) {
+		case "max":
+			p.MaxRetries = n
+		case "control":
+			p.Control = n
+		case "data":
+			p.Data = n
+		case "result":
+			p.Result = n
+		case "migration":
+			p.Migration = n
+		case "backoff":
+			p.BackoffBytes = n
+		default:
+			return nil, fmt.Errorf("retry-policy: unknown key %q (want max, control, data, result, migration, backoff)", strings.TrimSpace(k))
+		}
+	}
+	return &p, nil
 }
 
 // parseNodeAtEpoch parses "<node> @ <epoch>" (spaces optional).
@@ -440,9 +570,10 @@ func parseNodeAtEpoch(value string) (node, epoch int, err error) {
 	return node, epoch, nil
 }
 
-// applyDirective parses one "key: value" directive into job or churn,
-// reporting how many churn directives it consumed (0 or 1).
-func applyDirective(job *aspen.QueryJob, churn *churnSpec, d string) (int, error) {
+// applyDirective parses one "key: value" directive into job, churn or
+// fault, reporting how many deployment-level directives it consumed (0 or
+// 1).
+func applyDirective(job *aspen.QueryJob, churn *churnSpec, fault *faultSpec, d string) (int, error) {
 	key, value, ok := strings.Cut(d, ":")
 	if !ok {
 		// A bare comment, e.g. "-- the fast half"; ignore.
@@ -451,6 +582,51 @@ func applyDirective(job *aspen.QueryJob, churn *churnSpec, d string) (int, error
 	key = strings.TrimSpace(strings.ToLower(key))
 	value = strings.TrimSpace(value)
 	switch key {
+	case "loss":
+		// "<link-loss> [@ <seed>]": heterogeneous per-link loss layer.
+		rateStr, seedStr, hasSeed := strings.Cut(value, "@")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return 0, fmt.Errorf("loss rate: %w", err)
+		}
+		fault.cfg.LinkLoss = rate
+		if hasSeed {
+			if fault.cfg.Seed, err = strconv.ParseUint(strings.TrimSpace(seedStr), 10, 64); err != nil {
+				return 0, fmt.Errorf("loss seed: %w", err)
+			}
+		}
+		fault.set = true
+		return 1, nil
+	case "link-fail":
+		// "<rate> [@ <revive-after>]": transient per-epoch link failures.
+		rateStr, revStr, hasRev := strings.Cut(value, "@")
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil {
+			return 0, fmt.Errorf("link-fail rate: %w", err)
+		}
+		fault.cfg.LinkFailRate = rate
+		if hasRev {
+			if fault.cfg.LinkReviveAfter, err = strconv.Atoi(strings.TrimSpace(revStr)); err != nil {
+				return 0, fmt.Errorf("link-fail revive: %w", err)
+			}
+		}
+		fault.set = true
+		return 1, nil
+	case "partition":
+		p, err := parsePartition(value)
+		if err != nil {
+			return 0, err
+		}
+		fault.cfg.Partitions = append(fault.cfg.Partitions, p)
+		fault.set = true
+		return 1, nil
+	case "max-retries":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return 0, fmt.Errorf("max-retries: %w", err)
+		}
+		fault.maxRetries = n
+		return 1, nil
 	case "fail", "revive":
 		node, epoch, err := parseNodeAtEpoch(value)
 		if err != nil {

@@ -16,7 +16,7 @@ import (
 // TestParseWorkloadDemo parses the built-in demo workload: 4 blocks with
 // the directives the usage text documents.
 func TestParseWorkloadDemo(t *testing.T) {
-	jobs, _, err := parseWorkload(demoWorkload)
+	jobs, _, _, err := parseWorkload(demoWorkload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestParseWorkloadDemo(t *testing.T) {
 // TestParseWorkloadEmpty covers empty and whitespace-only files.
 func TestParseWorkloadEmpty(t *testing.T) {
 	for _, src := range []string{"", "\n\n\n", "   \n\t\n"} {
-		jobs, _, err := parseWorkload(src)
+		jobs, _, _, err := parseWorkload(src)
 		if err != nil {
 			t.Errorf("empty input %q: unexpected error %v", src, err)
 		}
@@ -74,7 +74,7 @@ func TestParseWorkloadMalformed(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, _, err := parseWorkload(tc.src)
+			_, _, _, err := parseWorkload(tc.src)
 			if err == nil {
 				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
 			}
@@ -89,7 +89,7 @@ func TestParseWorkloadMalformed(t *testing.T) {
 // comments (no colon) are ignored, not errors.
 func TestParseWorkloadComments(t *testing.T) {
 	src := "# a file comment\n-- the fast half\n-- id: q\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n"
-	jobs, _, err := parseWorkload(src)
+	jobs, _, _, err := parseWorkload(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestParseWorkloadComments(t *testing.T) {
 // contains stray spaces or tabs still splits blocks.
 func TestParseWorkloadWhitespaceSeparator(t *testing.T) {
 	src := "-- id: a\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n \t \n-- id: b\n-- query: Q1\n"
-	jobs, _, err := parseWorkload(src)
+	jobs, _, _, err := parseWorkload(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +115,11 @@ func TestParseWorkloadWhitespaceSeparator(t *testing.T) {
 func TestParseWorkloadCRLF(t *testing.T) {
 	unix := "-- id: a\nSELECT S.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n\n-- id: b\n-- query: Q1\n"
 	dos := strings.ReplaceAll(unix, "\n", "\r\n")
-	ju, _, err := parseWorkload(unix)
+	ju, _, _, err := parseWorkload(unix)
 	if err != nil {
 		t.Fatal(err)
 	}
-	jd, _, err := parseWorkload(dos)
+	jd, _, _, err := parseWorkload(dos)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestRunAllAndBaseline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine run in -short mode")
 	}
-	jobs, _, err := parseWorkload("-- id: left\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n\n-- id: right\n-- query: Q1\n")
+	jobs, _, _, err := parseWorkload("-- id: left\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n\n-- id: right\n-- query: Q1\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestRunAllAndBaseline(t *testing.T) {
 // and horizon.
 func TestParseWorkloadChurnDirectives(t *testing.T) {
 	src := "-- fail: 17 @ 5\n-- revive: 17 @ 9\n-- churn: 0.01 @ 42\n\n-- id: q\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n"
-	jobs, churn, err := parseWorkload(src)
+	jobs, churn, _, err := parseWorkload(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestParseWorkloadChurnDirectives(t *testing.T) {
 	}
 	// A churn directive inside a query block attaches to the deployment,
 	// not the query.
-	_, c2, err := parseWorkload("-- id: q\n-- fail: 3 @ 1\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n")
+	_, c2, _, err := parseWorkload("-- id: q\n-- fail: 3 @ 1\nSELECT S.id, T.id FROM S, T [windowsize=1 sampleinterval=100] WHERE S.u = T.u\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestParseWorkloadChurnErrors(t *testing.T) {
 		{"churn plus id but no sql", "-- id: broken\n-- fail: 3 @ 1\n", "no SQL statement"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			_, _, err := parseWorkload(tc.src)
+			_, _, _, err := parseWorkload(tc.src)
 			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("error %v does not mention %q", err, tc.wantErr)
 			}
@@ -224,7 +224,7 @@ func TestVerboseStreamsToWriterNotStdout(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine run in -short mode")
 	}
-	jobs, _, err := parseWorkload("-- id: left\n-- cycles: 5\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n")
+	jobs, _, _, err := parseWorkload("-- id: left\n-- cycles: 5\nSELECT S.id, T.id FROM S, T [windowsize=3 sampleinterval=100] WHERE S.id < 10 AND T.id > 80 AND S.x = T.y + 5 AND S.u = T.u\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestServeMetricsEndpoints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("engine run in -short mode")
 	}
-	jobs, _, err := parseWorkload("-- id: q\n-- query: Q1\n")
+	jobs, _, _, err := parseWorkload("-- id: q\n-- query: Q1\n")
 	if err != nil {
 		t.Fatal(err)
 	}

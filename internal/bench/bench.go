@@ -19,6 +19,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/join"
 	"repro/internal/obs"
 	"repro/internal/routing"
@@ -257,6 +258,57 @@ func scenariosWith(override int, tr *obs.Tracer) []Scenario {
 					1e6*float64(rep.BaseFallbacks) +
 					1e9*float64(rep.FailedNodes) +
 					1e12*float64(rep.TreesRebuilt)
+				return rep.AggregateBytes, check
+			},
+		},
+		{
+			Name: "lossy-1k",
+			Desc: "2 concurrent queries over a shared 1000-node deployment with a seeded link-fault plan (5% heterogeneous link loss, transient link failures reviving after 3 epochs), 10 epochs",
+			Run: func() (int64, float64) {
+				e := engine.New(engine.Options{Seed: 1, Kind: topology.ModerateRandom, Nodes: 1000,
+					Faults: &faults.Config{Seed: 9, LinkLoss: 0.05, LinkFailRate: 0.002, LinkReviveAfter: 3}})
+				for q := 0; q < 2; q++ {
+					if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
+						panic("bench: lossy-1k scenario submit: " + err.Error())
+					}
+				}
+				rep := e.Run(10)
+				if rep.LinkRerouted+rep.LinkFallbacks == 0 {
+					panic("bench: lossy-1k scenario lost its link-fault coverage")
+				}
+				// The checksum folds the fault-layer counters in, so drift in
+				// loss accounting or link recovery — not just traffic — shows.
+				check := float64(rep.Results) +
+					1e3*float64(rep.ResultsLost) +
+					1e6*float64(rep.LinkRerouted) +
+					1e9*float64(rep.LinkFallbacks)
+				return rep.AggregateBytes, check
+			},
+		},
+		{
+			Name: "partition-16",
+			Desc: "16 concurrent queries over one shared 100-node deployment bisected by a scheduled partition for epochs 10..14, 30 epochs",
+			Run: func() (int64, float64) {
+				e := engine.New(engine.Options{Seed: 1,
+					Faults: &faults.Config{Seed: 5, Partitions: []faults.Partition{
+						{From: 10, Until: 14, Kind: faults.Bisect}}}})
+				for q := 0; q < 16; q++ {
+					if _, err := e.Submit(engine.QueryConfig{SQL: engineSQL[q%len(engineSQL)]}); err != nil {
+						panic("bench: partition-16 scenario submit: " + err.Error())
+					}
+				}
+				rep := e.Run(30)
+				if rep.PartitionEpochs != 4 {
+					panic(fmt.Sprintf("bench: partition-16 scenario saw %d partition epochs, want 4", rep.PartitionEpochs))
+				}
+				if rep.LinkRerouted+rep.LinkFallbacks == 0 {
+					panic("bench: partition-16 scenario cut no query paths")
+				}
+				check := float64(rep.Results) +
+					1e3*float64(rep.ResultsLost) +
+					1e6*float64(rep.LinkRerouted) +
+					1e9*float64(rep.LinkFallbacks) +
+					1e12*float64(rep.PartitionEpochs)
 				return rep.AggregateBytes, check
 			},
 		},

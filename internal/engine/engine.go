@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/costmodel"
+	"repro/internal/faults"
 	"repro/internal/join"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -113,6 +114,23 @@ type Options struct {
 	// per-query path repair (exploration charged once to the shared
 	// stream) and memoized-route invalidation.
 	Churn []ChurnEvent
+	// Faults, when non-nil, builds a seeded fault-injection plan over the
+	// deployment (internal/faults): per-link loss boosts, transient link
+	// failures, scheduled partitions, duplication and bounded delay. The
+	// plan is installed on the shared network and on every per-query
+	// network, advanced once per epoch at the top of Step (sequentially,
+	// same discipline as SeededChurn), and whenever it holds any cut link
+	// the engine runs a link-fault recovery phase after churn recovery:
+	// live steppers implementing join.LinkFaultRecoverer reroute severed
+	// paths through a link-aware routing.Repairer (probes charged once to
+	// the shared stream) or fall back to the base station with window
+	// replay. A zero Config leaves every run byte-identical to Faults=nil.
+	Faults *faults.Config
+	// Retry, when non-nil, replaces the default retry policy (3 retries
+	// per hop, no backoff cost) on the shared and every per-query network:
+	// per-kind retry overrides and the per-retransmission backoff byte
+	// cost. See sim.RetryPolicy.
+	Retry *sim.RetryPolicy
 	// Adapt enables the engine's sequential adaptivity phase (section 6
 	// at deployment scope): each epoch, after churn and recovery and
 	// before the parallel stepping section, every live query's stepper
@@ -256,6 +274,7 @@ type Query struct {
 	admitEpoch  int
 	retireEpoch int
 	lastResults int
+	lastLost    int
 	result      *join.Result
 	// ledger is the query's per-epoch traffic buffer for parallel
 	// stepping (allocated lazily on the first parallel epoch, reused for
@@ -296,9 +315,17 @@ type EpochStats struct {
 	// Migrations counts window migrations committed by this epoch's
 	// adaptivity phase across all live queries; MigrationsAborted counts
 	// migrations abandoned at the commit point because the target node
-	// was dead (the pair fell back to the base station). Both are zero
-	// unless Options.Adapt is set.
+	// was dead (the pair fell back to the base station) or because the
+	// window's transfer path was partitioned. Both are zero unless
+	// Options.Adapt is set.
 	Migrations, MigrationsAborted int
+	// LinkRerouted / LinkFallbacks are the link-fault recovery phase's
+	// outcomes this epoch (Options.Faults only): paths rerouted around
+	// cut links vs pairs that fell back to the base station because a
+	// partition isolated their join node. ResultsLost is the epoch's
+	// policy-exhausted result losses across all live queries — results
+	// computed but dropped in flight to the base (feeds faults.losses).
+	LinkRerouted, LinkFallbacks, ResultsLost int
 }
 
 // Engine schedules continuous queries over one shared deployment.
@@ -330,6 +357,11 @@ type Engine struct {
 	totalFailed, totalRepaired, totalFallbacks, totalRebuilds int
 	// Adaptivity totals across the run (see Report).
 	totalMigrations, totalAborted int
+	// faults is the built fault plan (nil without Options.Faults); the
+	// remaining fields total its outcomes across the run (see Report).
+	faults                                           *faults.Plan
+	totalLinkRerouted, totalLinkFallbacks, totalLost int
+	partitionEpochs                                  int
 	// inst is the registered instrument set (nil when Options.Obs is nil)
 	// and lane0 the scheduler's trace lane (nil when Options.Trace is
 	// nil); epochResults is the reused NewResults map handed to OnEpoch.
@@ -350,6 +382,18 @@ func New(opts Options) *Engine {
 	nodes := workload.BuildNodes(topo, 1)
 	live := topology.NewLiveness(topo.N())
 	shared := sim.NewSharedNetwork(topo, opts.LossProb, opts.Seed^0xA59E17, live)
+	// The fault plan and retry policy install BEFORE substrate
+	// construction, so tree-building beacons see per-link loss boosts like
+	// any other traffic (no cuts yet: those only appear once BeginEpoch
+	// advances the plan).
+	var plan *faults.Plan
+	if opts.Faults != nil {
+		plan = faults.NewPlan(topo, *opts.Faults)
+		shared.SetFaults(plan)
+	}
+	if opts.Retry != nil {
+		shared.SetRetryPolicy(*opts.Retry)
+	}
 	sub := routing.NewSubstrate(topo, routing.Options{NumTrees: opts.Trees}, shared)
 	workers := opts.Workers
 	if workers < 0 {
@@ -367,6 +411,7 @@ func New(opts Options) *Engine {
 		live:    live,
 		byID:    map[string]*Query{},
 		workers: workers,
+		faults:  plan,
 		inst:    newInstruments(opts.Obs, workers),
 		lane0:   opts.Trace.Lane(0),
 	}
@@ -444,6 +489,12 @@ func (e *Engine) Submit(qc QueryConfig) (*Query, error) {
 	// every query's network at once.
 	src := rng.New(e.opts.Seed).Split(uint64(idx) + 0x51)
 	net := sim.NewSharedNetwork(e.Topo, e.opts.LossProb, src.Uint64(), e.live)
+	if e.faults != nil {
+		net.SetFaults(e.faults)
+	}
+	if e.opts.Retry != nil {
+		net.SetRetryPolicy(*e.opts.Retry)
+	}
 	sampler := qc.Sampler
 	if sampler == nil {
 		sampler = workload.NewGenerator(rates, src.Uint64())
@@ -543,6 +594,35 @@ func (e *Engine) applyChurn(epoch int, pt *phaseTimer) (failed []topology.NodeID
 	return failed, repaired, fallbacks, rebuilds
 }
 
+// applyLinkFaults runs the link-fault recovery phase: whenever the fault
+// plan holds any cut (a down link or an active partition), every live
+// stepper implementing join.LinkFaultRecoverer sweeps its paths against
+// its network's fault view — rerouting severed paths through one shared
+// link-aware Repairer (exploration probes charged once to the SHARED
+// stream, like churn recovery) or falling back to the base station with
+// window replay when a partition isolates a join node. Runs sequentially
+// in submission order, every epoch the cuts persist, so paths severed by
+// later link failures are eventually caught too; pairs already recovered
+// are skipped by the steppers, so the sweep converges.
+func (e *Engine) applyLinkFaults(epoch int, pt *phaseTimer) (rerouted, fallbacks int) {
+	rp := routing.NewRepairer(e.Topo, e.shared, routing.DefaultRepairLimit)
+	rp.SetLinkCheck(e.faults.LinkUsable)
+	for _, q := range e.queries {
+		if q.state != Live {
+			continue
+		}
+		if lr, ok := q.stepper.(join.LinkFaultRecoverer); ok {
+			r, f := lr.HandleLinkFaults(rp)
+			rerouted += r
+			fallbacks += f
+		}
+	}
+	e.totalLinkRerouted += rerouted
+	e.totalLinkFallbacks += fallbacks
+	pt.done(phaseFaults, epoch)
+	return rerouted, fallbacks
+}
+
 // applyAdapt runs the adaptivity phase (Options.Adapt): sequentially, in
 // submission order, each live query's stepper implementing join.Adaptive
 // closes the previous epoch's sampling cycle on its selectivity estimators
@@ -608,8 +688,21 @@ func (e *Engine) Step() bool {
 		}
 		stats = EpochStats{Epoch: epoch, NewResults: e.epochResults}
 	}
+	// Advance the fault plan first: the epoch's link failures, revivals
+	// and partition state must be in force before any traffic — admission
+	// initiation included — is charged. Sequential, seeded, same
+	// discipline as the churn schedule.
+	if e.faults != nil {
+		e.faults.BeginEpoch(epoch)
+		if e.faults.PartitionActive() {
+			e.partitionEpochs++
+			if e.inst != nil {
+				e.inst.faultPartEpochs.Inc()
+			}
+		}
+	}
 	pt := e.startPhases()
-	results, admitted := 0, 0
+	results, admitted, lost := 0, 0, 0
 	for _, q := range e.queries {
 		if q.state == Pending && q.AdmitAt <= epoch {
 			e.admit(q, epoch)
@@ -629,6 +722,14 @@ func (e *Engine) Step() bool {
 			stats.TreesRebuilt = rebuilds
 		}
 		e.observeChurn(len(failed), repaired, fallbacks, rebuilds)
+	}
+	if e.faults != nil && e.faults.AnyCut() {
+		rerouted, fallbacks := e.applyLinkFaults(epoch, &pt)
+		if track {
+			stats.LinkRerouted = rerouted
+			stats.LinkFallbacks = fallbacks
+		}
+		e.observeFaults(rerouted, fallbacks)
 	}
 	if e.opts.Adapt {
 		migrated, aborted := e.applyAdapt(epoch, &pt)
@@ -658,6 +759,11 @@ func (e *Engine) Step() bool {
 		if track && d > 0 {
 			stats.NewResults[q.ID] = d
 		}
+		if lr, ok := q.stepper.(join.LossReporter); ok {
+			l := lr.ResultsLost()
+			lost += l - q.lastLost
+			q.lastLost = l
+		}
 		if q.Cycles > 0 && epoch-q.admitEpoch+1 >= q.Cycles {
 			e.retire(q, epoch+1)
 			retired++
@@ -666,14 +772,16 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
+	e.totalLost += lost
 	if e.inst != nil {
-		e.observeEpoch(len(e.stepList), admitted, retired, results)
+		e.observeEpoch(len(e.stepList), admitted, retired, results, lost)
 	}
 	pt.done(phaseMerge, epoch)
 	pt.finish(epoch)
 	e.epoch++
 	if track {
 		stats.Live = len(e.stepList)
+		stats.ResultsLost = lost
 		e.OnEpoch(stats)
 	}
 	return e.unretired > 0
@@ -796,9 +904,13 @@ type QueryReport struct {
 	// BytesPerNode is TotalBytes averaged over the deployment.
 	BytesPerNode float64
 	Results      int
-	MeanDelay    float64
-	InNetPairs   int
-	AtBasePairs  int
+	// ResultsLost counts results the query computed that exhausted the
+	// retry policy in flight to the base station — explicit, observable
+	// loss, never silent (see join.Result.ResultsLost).
+	ResultsLost int
+	MeanDelay   float64
+	InNetPairs  int
+	AtBasePairs int
 }
 
 // Report aggregates the engine's traffic accounting.
@@ -828,8 +940,15 @@ type Report struct {
 	FailedNodes, PathsRepaired, BaseFallbacks, TreesRebuilt int
 	// Migrations / MigrationsAborted total the adaptivity phase's window
 	// migrations over the run: committed moves and moves abandoned at the
-	// commit point because the target died (zero unless Options.Adapt).
+	// commit point because the target died or the transfer path was
+	// partitioned (zero unless Options.Adapt).
 	Migrations, MigrationsAborted int
+	// ResultsLost totals policy-exhausted result losses across queries:
+	// results computed at join nodes but dropped in flight to the base.
+	// LinkRerouted / LinkFallbacks are the link-fault recovery phase's
+	// cumulative outcomes and PartitionEpochs counts epochs a scheduled
+	// partition was in force (all zero unless Options.Faults).
+	ResultsLost, LinkRerouted, LinkFallbacks, PartitionEpochs int
 	// Queries reports every submitted query in submission order.
 	Queries []QueryReport
 }
@@ -850,6 +969,9 @@ func (e *Engine) Report() *Report {
 		TreesRebuilt:      e.totalRebuilds,
 		Migrations:        e.totalMigrations,
 		MigrationsAborted: e.totalAborted,
+		LinkRerouted:      e.totalLinkRerouted,
+		LinkFallbacks:     e.totalLinkFallbacks,
+		PartitionEpochs:   e.partitionEpochs,
 	}
 	for _, q := range e.queries {
 		qr := QueryReport{
@@ -868,17 +990,22 @@ func (e *Engine) Report() *Report {
 			qr.InitBytes, qr.BaseBytes = r.InitBytes, r.BaseBytes
 			qr.MaxNodeBytes = r.MaxNodeBytes
 			qr.Results, qr.MeanDelay = r.Results, r.MeanDelay()
+			qr.ResultsLost = r.ResultsLost
 			qr.InNetPairs, qr.AtBasePairs = r.InNetPairs, r.AtBasePairs
 		} else if q.state == Live {
 			m := q.net.Metrics()
 			qr.TotalBytes, qr.TotalMessages = m.TotalBytes, m.TotalMessages
 			qr.BaseBytes, qr.MaxNodeBytes = m.BaseBytes, m.MaxNodeBytes()
 			qr.Results = q.stepper.Results()
+			if lr, ok := q.stepper.(join.LossReporter); ok {
+				qr.ResultsLost = lr.ResultsLost()
+			}
 			qr.RetireEpoch = -1
 		}
 		qr.BytesPerNode = float64(qr.TotalBytes) / float64(n)
 		rep.QueryBytes += qr.TotalBytes
 		rep.Results += qr.Results
+		rep.ResultsLost += qr.ResultsLost
 		rep.Queries = append(rep.Queries, qr)
 	}
 	rep.AggregateBytes = rep.SharedBytes + rep.QueryBytes

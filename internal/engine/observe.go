@@ -15,25 +15,26 @@ import (
 	"repro/internal/sim"
 )
 
-// Epoch phases, in execution order. Churn and Recover are only observed
-// on engines with a churn schedule.
+// Epoch phases, in execution order. Churn and Recover are only observed on
+// engines with a churn schedule, Faults only on engines with a fault plan.
 const (
 	phaseAdmit = iota
 	phaseChurn
 	phaseRecover
+	phaseFaults
 	phaseAdapt
 	phaseStep
 	phaseMerge
 	numPhases
 )
 
-var phaseNames = [numPhases]string{"admit", "churn", "recover", "adapt", "step", "merge"}
+var phaseNames = [numPhases]string{"admit", "churn", "recover", "faults", "adapt", "step", "merge"}
 
 // phaseSpanNames are precomputed so closing a phase never builds a string
 // on the metrics-only path (the concat would allocate even with tracing
 // off).
 var phaseSpanNames = [numPhases]string{
-	"phase:admit", "phase:churn", "phase:recover", "phase:adapt", "phase:step", "phase:merge",
+	"phase:admit", "phase:churn", "phase:recover", "phase:faults", "phase:adapt", "phase:step", "phase:merge",
 }
 
 // instruments is the engine's registered instrument set. The taxonomy
@@ -41,6 +42,9 @@ var phaseSpanNames = [numPhases]string{
 //
 //	engine.*  scheduler lifecycle counters and the live-query gauge
 //	churn.*   section-7 failure/recovery event counters
+//	faults.*  fault-injection layer: policy-exhausted result losses,
+//	          partition epochs, link-fault recovery outcomes, and gauges
+//	          for injected cut drops / duplicate deliveries / delay
 //	sim.*     byte accounting sampled from the sim metrics streams
 //	join.*    per-query join-state sizes
 //	epoch.*   wall-time histograms (whole epoch + per phase, microseconds)
@@ -59,6 +63,14 @@ type instruments struct {
 
 	migrations obs.Counter
 	migAborted obs.Counter
+
+	faultLosses     obs.Counter
+	faultPartEpochs obs.Counter
+	faultRerouted   obs.Counter
+	faultFallbacks  obs.Counter
+	faultDrops      obs.Gauge
+	faultDups       obs.Gauge
+	faultDelay      obs.Gauge
 
 	sharedBytes obs.Gauge
 	queryBytes  obs.Gauge
@@ -96,6 +108,14 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 
 		migrations: reg.Counter("adapt.migrations"),
 		migAborted: reg.Counter("adapt.migrations_aborted"),
+
+		faultLosses:     reg.Counter("faults.losses"),
+		faultPartEpochs: reg.Counter("faults.partition_epochs"),
+		faultRerouted:   reg.Counter("faults.paths_rerouted"),
+		faultFallbacks:  reg.Counter("faults.base_fallbacks"),
+		faultDrops:      reg.Gauge("faults.injected_drops"),
+		faultDups:       reg.Gauge("faults.duplicates"),
+		faultDelay:      reg.Gauge("faults.delay_slots"),
 
 		sharedBytes: reg.Gauge("sim.shared.bytes"),
 		queryBytes:  reg.Gauge("sim.query.bytes"),
@@ -171,7 +191,7 @@ func (p *phaseTimer) finish(epoch int) {
 // pool drains), reading sim metrics the same way Report does — it never
 // charges traffic, so the sampled run is byte-identical to an unsampled
 // one.
-func (e *Engine) observeEpoch(live, admitted, retired, results int) {
+func (e *Engine) observeEpoch(live, admitted, retired, results, lost int) {
 	in := e.inst
 	if in == nil {
 		return
@@ -185,6 +205,7 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 	in.admitted.Add(int64(admitted))
 	in.retired.Add(int64(retired))
 	in.results.Add(int64(results))
+	in.faultLosses.Add(int64(lost))
 
 	sm := e.shared.Metrics()
 	in.sharedBytes.Set(sm.TotalBytes)
@@ -193,6 +214,7 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 	// sim.bytes.control.
 	var kind [3]int64
 	drops, retrans := sm.Drops, sm.Retransmissions
+	cutDrops, dups, delay := sm.CutDrops, sm.Duplicates, sm.DelaySlots
 	for k := sim.Control; k <= sim.Result; k++ {
 		kind[k] = sm.KindBytes(k)
 	}
@@ -206,6 +228,9 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 		queryBytes += m.TotalBytes
 		drops += m.Drops
 		retrans += m.Retransmissions
+		cutDrops += m.CutDrops
+		dups += m.Duplicates
+		delay += m.DelaySlots
 		for k := sim.Control; k <= sim.Result; k++ {
 			kind[k] += m.KindBytes(k)
 		}
@@ -214,6 +239,9 @@ func (e *Engine) observeEpoch(live, admitted, retired, results int) {
 	in.queryBytes.Set(queryBytes)
 	in.drops.Set(drops)
 	in.retransmits.Set(retrans)
+	in.faultDrops.Set(cutDrops)
+	in.faultDups.Set(dups)
+	in.faultDelay.Set(delay)
 	for k := sim.Control; k <= sim.Result; k++ {
 		in.kindBytes[k].Set(kind[k])
 	}
@@ -240,6 +268,18 @@ func (e *Engine) observeAdapt(migrated, aborted int) {
 	}
 	in.migrations.Add(int64(migrated))
 	in.migAborted.Add(int64(aborted))
+}
+
+// observeFaults folds one epoch's link-fault recovery outcome into the
+// counters (the partition-epoch counter is bumped where the plan advances,
+// in Step).
+func (e *Engine) observeFaults(rerouted, fallbacks int) {
+	in := e.inst
+	if in == nil {
+		return
+	}
+	in.faultRerouted.Add(int64(rerouted))
+	in.faultFallbacks.Add(int64(fallbacks))
 }
 
 // observeChurn folds one epoch's recovery outcome into the counters.

@@ -1,0 +1,306 @@
+// Package faults is the deterministic fault-injection layer for the
+// simulator: a seeded plan of per-link loss boosts, transient link failures
+// with revive epochs, scheduled bisecting/regional partitions, duplicate
+// deliveries and bounded delay. A Plan implements sim.FaultInjector, so a
+// sim.Network consults it on every hop; everything random about the plan is
+// drawn from its own seeded rng streams when the plan is built (static
+// per-link draws) or advanced (per-epoch link churn in BeginEpoch, called
+// from the engine's sequential section) — the same discipline as the
+// engine's SeededChurn — so Link is a pure read and a run is byte-identical
+// for a fixed seed at any worker count.
+//
+// The layer composes with, and deliberately mirrors, the paper's section-7
+// whole-node fault model: a cut link behaves at the hop like a dead
+// receiver (the sender burns its full retry budget before giving up), but
+// is invisible to liveness, so recovery has to be link-aware — the engine
+// reroutes around cut links with the link-aware routing.Repairer and falls
+// back to the base station when a partition isolates a join node.
+package faults
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// PartitionKind selects how a scheduled partition splits the deployment.
+type PartitionKind uint8
+
+const (
+	// Bisect splits the deployment at the median x coordinate: every
+	// radio link between the low-x half and the high-x half is cut while
+	// the partition is active.
+	Bisect PartitionKind = iota
+	// Region isolates one row band of the deployment — the same 4x4-grid
+	// row the workload generator assigns as rid — from the rest of the
+	// network.
+	Region
+)
+
+// Partition schedules one network partition: links crossing the split are
+// cut for epochs From <= e < Until. Overlapping windows resolve to the
+// first matching entry.
+type Partition struct {
+	From, Until int
+	Kind        PartitionKind
+	// Region is the row band (0-3) isolated when Kind == Region.
+	Region int
+}
+
+// Config parameterizes a fault plan. The zero value injects nothing, and a
+// plan built from it leaves every run byte-identical to a plan-free engine.
+type Config struct {
+	// Seed feeds the plan's private rng streams; independent of the
+	// workload and loss seeds.
+	Seed uint64
+	// LinkLoss is the mean extra per-hop loss probability. Each link
+	// draws its own boost in [0.5, 1.5) x LinkLoss at build time, so loss
+	// is heterogeneous per link but fixed for the run.
+	LinkLoss float64
+	// LinkFailRate is the per-epoch probability that a healthy link goes
+	// down (drawn in BeginEpoch, link order deterministic).
+	LinkFailRate float64
+	// LinkReviveAfter revives a failed link after this many epochs;
+	// 0 means failed links stay down for the rest of the run.
+	LinkReviveAfter int
+	// DupProb is the per-hop duplicate-delivery probability.
+	DupProb float64
+	// DelayMax bounds per-link injected delay: each link draws a fixed
+	// delay in [0, DelayMax] transmission slots at build time.
+	DelayMax int
+	// Partitions schedules network partitions.
+	Partitions []Partition
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.LinkLoss > 0 || c.LinkFailRate > 0 || c.DupProb > 0 ||
+		c.DelayMax > 0 || len(c.Partitions) > 0
+}
+
+// linkKey identifies an undirected radio link, endpoints ordered a < b.
+type linkKey struct{ a, b topology.NodeID }
+
+func keyOf(from, to topology.NodeID) linkKey {
+	if from < to {
+		return linkKey{from, to}
+	}
+	return linkKey{to, from}
+}
+
+// linkFault is the mutable per-link fault state.
+type linkFault struct {
+	extraLoss float64
+	delay     int
+	down      bool
+	// reviveAt is the epoch the link comes back up; 0 means permanent.
+	reviveAt int
+}
+
+// Plan is a built fault plan over one deployment. BeginEpoch advances it
+// (sequential sections only); Link is the concurrent-safe pure read the
+// networks consult per hop.
+type Plan struct {
+	topo  *topology.Topology
+	cfg   Config
+	churn *rng.Source
+
+	links map[linkKey]*linkFault
+	order []linkKey // canonical build order, for deterministic epoch sweeps
+
+	// loX[i] reports node i on the low-x side of the bisect split.
+	loX []bool
+	// rid[i] is node i's 4x4-grid row band, for Region partitions.
+	rid []int8
+
+	// side is the active partition membership (hop cut iff sides differ);
+	// nil when no partition is active.
+	side []int8
+
+	epoch     int
+	downLinks int
+	partIdx   int // index+1 of the active Partitions entry, 0 = none
+}
+
+// NewPlan builds the plan for topo: all static per-link draws (loss boosts,
+// delays) happen here, in canonical link order, from the config seed.
+func NewPlan(topo *topology.Topology, cfg Config) *Plan {
+	root := rng.New(cfg.Seed).Split(0xFA017)
+	static := root.Split(1)
+	p := &Plan{
+		topo:  topo,
+		cfg:   cfg,
+		churn: root.Split(2),
+		epoch: -1,
+	}
+	n := topo.N()
+	if cfg.LinkLoss > 0 || cfg.LinkFailRate > 0 || cfg.DupProb > 0 || cfg.DelayMax > 0 {
+		p.links = make(map[linkKey]*linkFault)
+		for id := 0; id < n; id++ {
+			from := topology.NodeID(id)
+			for _, nb := range topo.Neighbors(from) {
+				if nb <= from {
+					continue
+				}
+				lf := &linkFault{}
+				if cfg.LinkLoss > 0 {
+					lf.extraLoss = cfg.LinkLoss * (0.5 + static.Float64())
+					if lf.extraLoss > 1 {
+						lf.extraLoss = 1
+					}
+				}
+				if cfg.DelayMax > 0 {
+					lf.delay = static.Intn(cfg.DelayMax + 1)
+				}
+				k := linkKey{from, nb}
+				p.links[k] = lf
+				p.order = append(p.order, k)
+			}
+		}
+	}
+	for _, pt := range cfg.Partitions {
+		switch pt.Kind {
+		case Bisect:
+			if p.loX == nil {
+				p.loX = bisectSides(topo)
+			}
+		case Region:
+			if p.rid == nil {
+				p.rid = rowBands(topo)
+			}
+		}
+	}
+	return p
+}
+
+// bisectSides splits the deployment at the median x coordinate.
+func bisectSides(topo *topology.Topology) []bool {
+	n := topo.N()
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = topo.Pos(topology.NodeID(i)).X
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	median := sorted[n/2]
+	lo := make([]bool, n)
+	for i := 0; i < n; i++ {
+		lo[i] = xs[i] < median
+	}
+	return lo
+}
+
+// rowBands assigns each node its 4x4-grid row, mirroring the workload
+// generator's rid attribute so a Region partition isolates the same nodes
+// a rid predicate selects.
+func rowBands(topo *topology.Topology) []int8 {
+	n := topo.N()
+	cell := topology.Field / 4
+	rid := make([]int8, n)
+	for i := 0; i < n; i++ {
+		r := int(topo.Pos(topology.NodeID(i)).Y / cell)
+		if r > 3 {
+			r = 3
+		}
+		rid[i] = int8(r)
+	}
+	return rid
+}
+
+// BeginEpoch advances the plan to the given epoch: links revive and fail
+// (seeded draws in canonical link order) and scheduled partitions activate
+// or heal. Sequential sections only — the engine calls it once at the top
+// of every epoch, before any worker steps.
+func (p *Plan) BeginEpoch(epoch int) {
+	p.epoch = epoch
+	if p.cfg.LinkFailRate > 0 {
+		for _, k := range p.order {
+			lf := p.links[k]
+			if lf.down {
+				if lf.reviveAt > 0 && epoch >= lf.reviveAt {
+					lf.down = false
+					lf.reviveAt = 0
+					p.downLinks--
+				}
+				continue
+			}
+			if p.churn.Bool(p.cfg.LinkFailRate) {
+				lf.down = true
+				p.downLinks++
+				if p.cfg.LinkReviveAfter > 0 {
+					lf.reviveAt = epoch + p.cfg.LinkReviveAfter
+				}
+			}
+		}
+	}
+	p.partIdx = 0
+	p.side = nil
+	for i := range p.cfg.Partitions {
+		pt := &p.cfg.Partitions[i]
+		if epoch < pt.From || epoch >= pt.Until {
+			continue
+		}
+		p.partIdx = i + 1
+		p.side = make([]int8, p.topo.N())
+		switch pt.Kind {
+		case Bisect:
+			for id, lo := range p.loX {
+				if lo {
+					p.side[id] = 1
+				}
+			}
+		case Region:
+			for id, r := range p.rid {
+				if int(r) == pt.Region {
+					p.side[id] = 1
+				}
+			}
+		}
+		break
+	}
+}
+
+// Link implements sim.FaultInjector: the current fault verdict for one
+// directed hop. Pure read, safe for concurrent use between BeginEpoch
+// calls.
+func (p *Plan) Link(from, to topology.NodeID) sim.LinkState {
+	var st sim.LinkState
+	if p.side != nil && p.side[from] != p.side[to] {
+		st.Cut = true
+		return st
+	}
+	if p.links != nil {
+		if lf, ok := p.links[keyOf(from, to)]; ok {
+			if lf.down {
+				st.Cut = true
+				return st
+			}
+			st.ExtraLoss = lf.extraLoss
+			st.DupProb = p.cfg.DupProb
+			st.DelaySlots = lf.delay
+		}
+	}
+	return st
+}
+
+// LinkUsable is the routing predicate form of Link: true when the hop is
+// not cut. Handed to routing.Repairer so detours avoid down links and
+// partition-crossing edges.
+func (p *Plan) LinkUsable(from, to topology.NodeID) bool {
+	return !p.Link(from, to).Cut
+}
+
+// AnyCut reports whether any link is currently cut — down by link churn or
+// severed by an active partition. The engine runs its link-fault recovery
+// sweep whenever this holds.
+func (p *Plan) AnyCut() bool { return p.downLinks > 0 || p.side != nil }
+
+// PartitionActive reports whether a scheduled partition is in force this
+// epoch (feeds the faults.partition_epochs counter).
+func (p *Plan) PartitionActive() bool { return p.side != nil }
+
+// DownLinks returns the number of links currently down from link churn
+// (partition cuts not included).
+func (p *Plan) DownLinks() int { return p.downLinks }

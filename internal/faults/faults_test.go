@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func testTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	return topology.Generate(topology.ModerateRandom, 100, 1)
+}
+
+// allLinks enumerates every undirected radio link of topo in canonical
+// order.
+func allLinks(topo *topology.Topology) [][2]topology.NodeID {
+	var out [][2]topology.NodeID
+	for id := 0; id < topo.N(); id++ {
+		from := topology.NodeID(id)
+		for _, nb := range topo.Neighbors(from) {
+			if nb > from {
+				out = append(out, [2]topology.NodeID{from, nb})
+			}
+		}
+	}
+	return out
+}
+
+// TestZeroConfigInjectsNothing: the zero Config is disabled and its plan
+// returns the zero LinkState for every hop at every epoch — the contract
+// that keeps a plan-free run byte-identical.
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero Config reports Enabled")
+	}
+	topo := testTopo(t)
+	p := NewPlan(topo, Config{Seed: 1})
+	for e := 0; e < 5; e++ {
+		p.BeginEpoch(e)
+		if p.AnyCut() || p.PartitionActive() || p.DownLinks() != 0 {
+			t.Fatalf("epoch %d: zero plan reports faults", e)
+		}
+		for _, l := range allLinks(topo) {
+			if st := p.Link(l[0], l[1]); st != (sim.LinkState{}) {
+				t.Fatalf("epoch %d: link %v-%v has non-zero state %+v", e, l[0], l[1], st)
+			}
+		}
+	}
+}
+
+// TestPlanDeterministic: two plans from the same seed and topology agree
+// on every link state at every epoch — the property worker-count
+// invariance rests on.
+func TestPlanDeterministic(t *testing.T) {
+	topo := testTopo(t)
+	cfg := Config{
+		Seed: 7, LinkLoss: 0.1, LinkFailRate: 0.05, LinkReviveAfter: 2,
+		DupProb: 0.02, DelayMax: 3,
+		Partitions: []Partition{{From: 3, Until: 6, Kind: Bisect}},
+	}
+	a, b := NewPlan(topo, cfg), NewPlan(topo, cfg)
+	links := allLinks(topo)
+	for e := 0; e < 10; e++ {
+		a.BeginEpoch(e)
+		b.BeginEpoch(e)
+		if a.DownLinks() != b.DownLinks() || a.AnyCut() != b.AnyCut() {
+			t.Fatalf("epoch %d: plan summaries diverge: %d/%v vs %d/%v",
+				e, a.DownLinks(), a.AnyCut(), b.DownLinks(), b.AnyCut())
+		}
+		for _, l := range links {
+			sa, sb := a.Link(l[0], l[1]), b.Link(l[0], l[1])
+			if sa != sb {
+				t.Fatalf("epoch %d: link %v-%v diverges: %+v vs %+v", e, l[0], l[1], sa, sb)
+			}
+			// Link state is direction-symmetric: one undirected fault entry.
+			if rev := a.Link(l[1], l[0]); rev != sa {
+				t.Fatalf("epoch %d: link %v-%v asymmetric: %+v vs %+v", e, l[0], l[1], sa, rev)
+			}
+		}
+	}
+}
+
+// TestLinkLossHeterogeneous: per-link loss boosts land in the documented
+// [0.5, 1.5) x LinkLoss band and differ across links.
+func TestLinkLossHeterogeneous(t *testing.T) {
+	topo := testTopo(t)
+	const mean = 0.1
+	p := NewPlan(topo, Config{Seed: 3, LinkLoss: mean})
+	p.BeginEpoch(0)
+	seen := map[float64]bool{}
+	for _, l := range allLinks(topo) {
+		st := p.Link(l[0], l[1])
+		if st.ExtraLoss < 0.5*mean || st.ExtraLoss >= 1.5*mean {
+			t.Fatalf("link %v-%v loss %.4f outside [%.4f, %.4f)", l[0], l[1], st.ExtraLoss, 0.5*mean, 1.5*mean)
+		}
+		seen[st.ExtraLoss] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("loss boosts are not heterogeneous: %d distinct values", len(seen))
+	}
+}
+
+// TestLinkFailureAndRevive: with LinkFailRate 1 every link fails at epoch
+// 0 and, with LinkReviveAfter 2, every link is back up at epoch 2 (revive
+// and re-fail never happen in the same epoch).
+func TestLinkFailureAndRevive(t *testing.T) {
+	topo := testTopo(t)
+	p := NewPlan(topo, Config{Seed: 1, LinkFailRate: 1, LinkReviveAfter: 2})
+	links := allLinks(topo)
+
+	p.BeginEpoch(0)
+	if p.DownLinks() != len(links) {
+		t.Fatalf("epoch 0: %d links down, want all %d", p.DownLinks(), len(links))
+	}
+	for _, l := range links {
+		if !p.Link(l[0], l[1]).Cut {
+			t.Fatalf("epoch 0: link %v-%v not cut", l[0], l[1])
+		}
+	}
+	p.BeginEpoch(1)
+	if p.DownLinks() != len(links) {
+		t.Fatalf("epoch 1: %d links down, want all %d", p.DownLinks(), len(links))
+	}
+	p.BeginEpoch(2)
+	if p.DownLinks() != 0 || p.AnyCut() {
+		t.Fatalf("epoch 2: %d links still down after revive window", p.DownLinks())
+	}
+	for _, l := range links {
+		if p.Link(l[0], l[1]).Cut {
+			t.Fatalf("epoch 2: link %v-%v still cut", l[0], l[1])
+		}
+	}
+	// Permanent failures (LinkReviveAfter 0) never come back.
+	perm := NewPlan(topo, Config{Seed: 1, LinkFailRate: 1})
+	perm.BeginEpoch(0)
+	for e := 1; e < 5; e++ {
+		perm.BeginEpoch(e)
+		if perm.DownLinks() != len(links) {
+			t.Fatalf("epoch %d: permanent failure revived (%d down)", e, perm.DownLinks())
+		}
+	}
+}
+
+// TestBisectPartition: the scheduled window cuts exactly the links whose
+// endpoints straddle the median-x split, for exactly [From, Until).
+func TestBisectPartition(t *testing.T) {
+	topo := testTopo(t)
+	p := NewPlan(topo, Config{Seed: 1, Partitions: []Partition{{From: 2, Until: 4, Kind: Bisect}}})
+
+	// Recompute the expected sides the way the plan documents them.
+	n := topo.N()
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = topo.Pos(topology.NodeID(i)).X
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := range sorted { // insertion sort; n is small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	median := sorted[n/2]
+
+	for e, want := range map[int]bool{0: false, 1: false, 2: true, 3: true, 4: false, 5: false} {
+		p.BeginEpoch(e)
+		if p.PartitionActive() != want {
+			t.Fatalf("epoch %d: PartitionActive=%v, want %v", e, p.PartitionActive(), want)
+		}
+		cut := 0
+		for _, l := range allLinks(topo) {
+			straddles := (xs[l[0]] < median) != (xs[l[1]] < median)
+			if got := p.Link(l[0], l[1]).Cut; got != (want && straddles) {
+				t.Fatalf("epoch %d: link %v-%v cut=%v, want %v", e, l[0], l[1], got, want && straddles)
+			}
+			if want && straddles {
+				cut++
+			}
+		}
+		if want && cut == 0 {
+			t.Fatal("bisect partition cut no links")
+		}
+	}
+}
+
+// TestRegionPartitionMatchesWorkloadRid: a Region partition isolates
+// exactly the nodes the workload generator assigns that rid, so a
+// partition directive and a rid predicate name the same node set.
+func TestRegionPartitionMatchesWorkloadRid(t *testing.T) {
+	topo := testTopo(t)
+	nodes := workload.BuildNodes(topo, 1)
+	const band = 3
+	p := NewPlan(topo, Config{Seed: 1, Partitions: []Partition{{From: 0, Until: 1, Kind: Region, Region: band}}})
+	p.BeginEpoch(0)
+	cut := 0
+	for _, l := range allLinks(topo) {
+		inA, inB := nodes[l[0]].Rid == band, nodes[l[1]].Rid == band
+		if got := p.Link(l[0], l[1]).Cut; got != (inA != inB) {
+			t.Fatalf("link %v-%v (rid %d,%d): cut=%v, want %v",
+				l[0], l[1], nodes[l[0]].Rid, nodes[l[1]].Rid, got, inA != inB)
+		}
+		if inA != inB {
+			cut++
+		}
+	}
+	if cut == 0 {
+		t.Fatal("region partition cut no links")
+	}
+}
+
+// TestLinkUsableMirrorsLink: the routing predicate is exactly !Cut.
+func TestLinkUsableMirrorsLink(t *testing.T) {
+	topo := testTopo(t)
+	p := NewPlan(topo, Config{Seed: 5, LinkFailRate: 0.3})
+	p.BeginEpoch(0)
+	for _, l := range allLinks(topo) {
+		if p.LinkUsable(l[0], l[1]) != !p.Link(l[0], l[1]).Cut {
+			t.Fatalf("LinkUsable disagrees with Link for %v-%v", l[0], l[1])
+		}
+	}
+}
+
+// TestDelayAndDupPropagate: build-time delay draws stay within [0,
+// DelayMax] and DupProb reaches every link verbatim.
+func TestDelayAndDupPropagate(t *testing.T) {
+	topo := testTopo(t)
+	p := NewPlan(topo, Config{Seed: 2, DelayMax: 3, DupProb: 0.25})
+	p.BeginEpoch(0)
+	varied := false
+	first := -1
+	for _, l := range allLinks(topo) {
+		st := p.Link(l[0], l[1])
+		if st.DelaySlots < 0 || st.DelaySlots > 3 {
+			t.Fatalf("link %v-%v delay %d outside [0, 3]", l[0], l[1], st.DelaySlots)
+		}
+		if st.DupProb != 0.25 {
+			t.Fatalf("link %v-%v DupProb %v, want 0.25", l[0], l[1], st.DupProb)
+		}
+		if first == -1 {
+			first = st.DelaySlots
+		} else if st.DelaySlots != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("every link drew the same delay")
+	}
+}

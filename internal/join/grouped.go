@@ -115,6 +115,9 @@ func (b *baseStepper) runCycle(cycle int) {
 // Results implements Stepper.
 func (b *baseStepper) Results() int { return b.res.Results }
 
+// ResultsLost is always 0: base-side joins compute results at the base.
+func (b *baseStepper) ResultsLost() int { return b.res.ResultsLost }
+
 // JoinStateTuples implements StateSized: everything buffered at the base.
 func (b *baseStepper) JoinStateTuples() int { return b.st.Tuples() }
 
@@ -298,6 +301,9 @@ func (y *yangStepper) Step(cycle int) {
 
 // Results implements Stepper.
 func (y *yangStepper) Results() int { return y.res.Results }
+
+// ResultsLost reports results dropped in flight to the base station.
+func (y *yangStepper) ResultsLost() int { return y.res.ResultsLost }
 
 // JoinStateTuples implements StateSized: tuples buffered across the
 // per-target join states.
@@ -483,6 +489,9 @@ func (h *hashedStepper) Step(cycle int) {
 
 // Results implements Stepper.
 func (h *hashedStepper) Results() int { return h.res.Results }
+
+// ResultsLost reports results dropped in flight to the base station.
+func (h *hashedStepper) ResultsLost() int { return h.res.ResultsLost }
 
 // JoinStateTuples implements StateSized: tuples buffered at the home
 // nodes.

@@ -206,6 +206,9 @@ func (e *engine) Step(cycle int) {
 // Results implements Stepper.
 func (e *engine) Results() int { return e.res.Results }
 
+// ResultsLost reports results dropped in flight to the base station.
+func (e *engine) ResultsLost() int { return e.res.ResultsLost }
+
 // JoinStateTuples implements StateSized: the tuples buffered across every
 // join node's window state.
 func (e *engine) JoinStateTuples() int {
@@ -954,6 +957,84 @@ func (e *engine) HandleNodeFailure(failed []topology.NodeID, rp *routing.Repaire
 	return repaired, fallbacks
 }
 
+// HandleLinkFaults implements LinkFaultRecoverer: the link-layer analogue
+// of HandleNodeFailure, run by the engine whenever the fault plan has cut
+// links or an active partition. Every node is alive, so liveness sees
+// nothing — the sweep instead asks the query's own network (which consults
+// the installed fault plan) whether each in-network pair's s..t path or its
+// join node's result path to the base crosses a cut hop. A cut pair path
+// gets the limited-exploration repair through the link-aware Repairer
+// (probes charged once to the shared stream); a pair whose join node is
+// severed from the base station — or whose gap no detour bridges, e.g.
+// across a partition — falls back to joining at the base with its
+// producers' retained windows replayed, exactly the section-7 response to
+// a dead join node. Pairs already at the base route over the substrate
+// tree and are left alone: their delivery failures surface as observable
+// drops and losses, not silent stalls.
+func (e *engine) HandleLinkFaults(rp *routing.Repairer) (rerouted, fallbacks int) {
+	cfg := e.cfg
+	n := cfg.Topo.N()
+	var rebuildS, rebuildT, replayS, replayT []bool
+	mark := func(set *[]bool, id topology.NodeID) {
+		if *set == nil {
+			*set = make([]bool, n)
+		}
+		(*set)[id] = true
+	}
+	for _, p := range e.pairs {
+		if p.dead || p.jIdx < 0 {
+			continue
+		}
+		j := p.joinNode()
+		pathCut := cfg.Net.PathCut(p.path)
+		baseCut := cfg.Net.PathCut(cfg.Sub.PathToBase(j))
+		if !pathCut && !baseCut {
+			continue
+		}
+		if pathCut && !baseCut {
+			if rep, ok := rp.Repair(p.path); ok {
+				at := -1
+				for i, id := range rep {
+					if id == j {
+						at = i
+						break
+					}
+				}
+				if at >= 0 {
+					p.path = rep
+					p.jIdx = at
+					rerouted++
+					mark(&rebuildS, p.s)
+					mark(&rebuildT, p.t)
+					continue
+				}
+				// The detour spliced the join node out; fall back.
+			}
+		}
+		// The join node is unreachable within policy — severed from the
+		// base or from its producers with no bridgeable detour. Fall back
+		// to the base station, replaying retained windows (section 7).
+		e.fallbackToBase(p)
+		fallbacks++
+		mark(&replayS, p.s)
+		mark(&replayT, p.t)
+		mark(&rebuildS, p.s)
+		mark(&rebuildT, p.t)
+	}
+	for _, key := range e.order {
+		marked := func(set []bool) bool { return set != nil && set[key.id] }
+		ps := e.prodFor(key)
+		if (key.role == query.S && marked(replayS)) || (key.role == query.T && marked(replayT)) {
+			e.replayWindowToBase(ps)
+		}
+		if e.opts.Multicast &&
+			((key.role == query.S && marked(rebuildS)) || (key.role == query.T && marked(rebuildT))) {
+			e.rebuildTree(ps, true)
+		}
+	}
+	return rerouted, fallbacks
+}
+
 // --- Adaptive re-optimization (section 6) -------------------------------------
 
 func (e *engine) endCycleLearning(cycle int) {
@@ -1021,23 +1102,27 @@ func (e *engine) migratePairChecked(p *pairState, learned costmodel.Params, live
 		// moved, nothing to replay — the base still holds the window.
 		return 0, 1
 	}
-	e.commitMigration(p, oldIdx, oldNode)
+	if !e.commitMigration(p, oldIdx, oldNode) {
+		return 0, 1
+	}
 	return 1, 0
 }
 
 // commitMigration finalizes a re-placement already written to p.jIdx:
 // the producers are re-nominated toward the new join node and the pair's
 // window ships over, all charged as sim.Migration traffic. No-op when the
-// placement did not actually move.
-func (e *engine) commitMigration(p *pairState, oldIdx int, oldNode topology.NodeID) {
+// placement did not actually move. Returns whether the move committed —
+// false when the window transfer aborted on a partitioned path (see
+// transferWindow).
+func (e *engine) commitMigration(p *pairState, oldIdx int, oldNode topology.NodeID) bool {
 	if p.jIdx == oldIdx || p.joinNode() == oldNode {
 		p.jIdx = oldIdx
-		return
+		return true
 	}
 	if p.jIdx >= 0 {
 		e.nominateMigration(p)
 	}
-	e.transferWindow(p, oldIdx, oldNode)
+	return e.transferWindow(p, oldIdx, oldNode)
 }
 
 // nominateMigration notifies the producers about an in-network join node
@@ -1057,7 +1142,10 @@ func (e *engine) nominateMigration(p *pairState) {
 // duplicate tuples and hence join results. Registration moves through
 // unregisterPair so a producer with no remaining pairs at the old node
 // drops its window rather than leaving stale tuples behind.
-func (e *engine) transferWindow(p *pairState, oldIdx int, oldNode topology.NodeID) {
+// It returns whether the move committed: a transfer whose path is severed
+// by a fault-injected partition aborts into the base-station fallback and
+// returns false.
+func (e *engine) transferWindow(p *pairState, oldIdx int, oldNode topology.NodeID) bool {
 	newNode := p.joinNode()
 	tuples, bytes := e.stateAt(oldNode).Snapshot(p.s, p.t)
 	var path routing.Path
@@ -1077,6 +1165,28 @@ func (e *engine) transferWindow(p *pairState, oldIdx int, oldNode topology.NodeI
 	delivered := true
 	if bytes > 0 {
 		delivered, _ = e.cfg.Net.Transfer(path, bytes, sim.Migration, sim.Flow{})
+		if !delivered && e.cfg.Net.PathCut(path) {
+			// The charged transfer path is partitioned mid-epoch: the
+			// snapshot cannot reach the target, and installing the pair
+			// there would leave a half-transferred window. Abort into the
+			// section-7 base fallback instead — the same discipline as the
+			// dead-target commit-point check — replaying the producers'
+			// retained windows so the base can rebuild join state.
+			p.jIdx = oldIdx
+			e.res.MigrationsAborted++
+			if oldIdx >= 0 {
+				e.fallbackToBase(p)
+				e.replayWindowToBase(e.prodS[p.s])
+				e.replayWindowToBase(e.prodT[p.t])
+				if e.opts.Multicast {
+					e.rebuildTree(e.prodS[p.s], true)
+					e.rebuildTree(e.prodT[p.t], true)
+				}
+			}
+			// oldIdx < 0: the pair was joining at the base and stays there;
+			// the base still holds the authoritative window.
+			return false
+		}
 	}
 	newIdx := p.jIdx
 	p.jIdx = oldIdx
@@ -1101,6 +1211,7 @@ func (e *engine) transferWindow(p *pairState, oldIdx int, oldNode topology.NodeI
 		e.rebuildTree(e.prodS[p.s], true)
 		e.rebuildTree(e.prodT[p.t], true)
 	}
+	return true
 }
 
 // AdaptEpoch implements Adaptive: the engine-driven, epoch-boundary
@@ -1190,8 +1301,11 @@ func (e *engine) adaptGroup(group []*pairState, fresh costmodel.Params, live *to
 			// the group decision's charged placement.
 			e.nominateMigration(p)
 		}
-		e.transferWindow(p, oldIdx[i], oldNode[i])
-		migrated++
+		if e.transferWindow(p, oldIdx[i], oldNode[i]) {
+			migrated++
+		} else {
+			aborted++
+		}
 	}
 	return migrated, aborted
 }

@@ -77,6 +77,12 @@ type Result struct {
 	Drops         int64
 	// Results counts join results delivered to the base station.
 	Results int
+	// ResultsLost counts join results computed at a join node whose
+	// delivery to the base station exhausted the retry policy. Every
+	// result is in exactly one of Results or ResultsLost — a dropped
+	// result never silently vanishes (the fault-injection layer's
+	// end-to-end delivery guarantee; feeds the faults.losses counter).
+	ResultsLost int
 	// Delays records, per delivered result, the gap in sampling cycles
 	// since the previous delivered result (the paper's Fig 14 "result
 	// delay": how long the base waits between events).
@@ -170,6 +176,19 @@ type FailureRecoverer interface {
 	HandleNodeFailure(failed []topology.NodeID, rp *routing.Repairer) (repaired, fallbacks int)
 }
 
+// LinkFaultRecoverer is implemented by steppers that can recover from
+// persistently-lossy or severed paths injected by the fault layer — cut
+// links and partitions, which node liveness cannot see. The engine invokes
+// it from its sequential recovery phase whenever the fault plan holds any
+// cut; rp must be link-aware (routing.Repairer.SetLinkCheck with the
+// plan's predicate) and charges exploration probes to the SHARED stream,
+// while the stepper detects severed paths through its own network's
+// PathCut. Returns how many paths were rerouted in-network and how many
+// pairs fell back to joining at the base station.
+type LinkFaultRecoverer interface {
+	HandleLinkFaults(rp *routing.Repairer) (rerouted, fallbacks int)
+}
+
 // Adaptive is implemented by steppers whose join-node placement can be
 // re-optimized by an external scheduler — section 6's adaptivity run at
 // deployment scope by internal/engine. AdaptEpoch closes the given sampling
@@ -194,6 +213,15 @@ type Adaptive interface {
 // state need not implement it.
 type StateSized interface {
 	JoinStateTuples() int
+}
+
+// LossReporter is implemented by steppers that detect result loss: results
+// computed but dropped on the path to the base station after exhausting the
+// retry policy. internal/engine samples it at the epoch barrier, alongside
+// Results, to make every missing result observable (faults.losses). Every
+// stepper built on this package's shared result recorder implements it.
+type LossReporter interface {
+	ResultsLost() int
 }
 
 // LivenessObserver is implemented by routers (grouped.HomeRouter
@@ -254,6 +282,14 @@ func (r *recorder) record(n, cycle int) {
 	r.res.Results += n
 }
 
+// drop notes n results lost in flight to the base: computed, transmitted,
+// abandoned after exhausting the retry policy. Delays are not recorded —
+// nothing arrived — but the loss is, so Results+ResultsLost always equals
+// the results computed.
+func (r *recorder) drop(n int) {
+	r.res.ResultsLost += n
+}
+
 // sendResults forwards matches from join node j to the base station,
 // opportunistically merged into one physical packet per (join node, cycle)
 // — the Appendix E merging technique. Matches computed at the base itself
@@ -270,6 +306,8 @@ func sendResults(cfg *Config, rec *recorder, j topology.NodeID, matches int, cyc
 	ok, _ := cfg.Net.Transfer(path, matches*sim.ResultBytes, sim.Result, sim.Flow{Src: j, Dst: topology.Base})
 	if ok {
 		rec.record(matches, cycle)
+	} else {
+		rec.drop(matches)
 	}
 }
 

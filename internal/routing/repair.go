@@ -10,6 +10,12 @@ import (
 // falling back to the base station (section 7).
 const DefaultRepairLimit = 3
 
+// LinkCheck reports whether the directed hop from -> to is usable. The
+// fault-injection layer supplies one (faults.Plan.LinkUsable) so repair can
+// route around cut links and partition edges, which are invisible to node
+// liveness; nil means every link between live nodes is usable.
+type LinkCheck func(from, to topology.NodeID) bool
+
 // RepairPath attempts the limited-exploration repair of section 7: for each
 // failed node on path, the preceding live node searches its bounded
 // neighbourhood (at most limit hops, avoiding failed nodes) for a detour to
@@ -21,49 +27,67 @@ func RepairPath(topo *topology.Topology, net *sim.Network, path Path, limit int)
 		limit = DefaultRepairLimit
 	}
 	detour := func(pred, succ topology.NodeID) (Path, bool) {
-		return boundedDetour(topo, net, pred, succ, limit)
+		return boundedDetour(topo, net, nil, pred, succ, limit)
 	}
-	return repairWith(net, path, detour)
+	return repairWith(net, nil, path, detour)
 }
 
 // repairWith is the repair loop shared by RepairPath and Repairer: it
-// splices detours (from the given finder) around every failed node until
-// the path is clean or some gap is unbridgeable.
-func repairWith(net *sim.Network, path Path, detour func(pred, succ topology.NodeID) (Path, bool)) (Path, bool) {
+// splices detours (from the given finder) around every failed node — and,
+// with a LinkCheck, around every cut link — until the path is clean or some
+// gap is unbridgeable. A dead node is bridged pred..succ around the node; a
+// cut link is bridged between its own endpoints, which both stay on the
+// path.
+func repairWith(net *sim.Network, links LinkCheck, path Path, detour func(pred, succ topology.NodeID) (Path, bool)) (Path, bool) {
 	out := path.Clone()
 	for {
-		i := -1
+		nodeIdx, linkIdx := -1, -1
 		for idx, id := range out {
 			if !net.Alive(id) {
-				i = idx
+				nodeIdx = idx
+				break
+			}
+			if links != nil && idx+1 < len(out) && !links(id, out[idx+1]) {
+				linkIdx = idx
 				break
 			}
 		}
-		if i == -1 {
+		// spliceAt is the first index the detour replaces; tail resumes the
+		// original path after the bridged segment (pred, gap, succ).
+		var pred, succ topology.NodeID
+		var spliceAt, tail int
+		switch {
+		case nodeIdx == -1 && linkIdx == -1:
 			return out, true
+		case nodeIdx >= 0:
+			if nodeIdx == 0 || nodeIdx == len(out)-1 {
+				return nil, false // endpoint failed; cannot repair
+			}
+			pred, succ = out[nodeIdx-1], out[nodeIdx+1]
+			spliceAt, tail = nodeIdx-1, nodeIdx+2
+		default:
+			pred, succ = out[linkIdx], out[linkIdx+1]
+			spliceAt, tail = linkIdx, linkIdx+2
 		}
-		if i == 0 || i == len(out)-1 {
-			return nil, false // endpoint failed; cannot repair
-		}
-		pred, succ := out[i-1], out[i+1]
 		d, ok := detour(pred, succ)
 		if !ok {
 			return nil, false
 		}
 		repaired := make(Path, 0, len(out)+len(d))
-		repaired = append(repaired, out[:i]...)
-		repaired = append(repaired, d[1:]...)
-		repaired = append(repaired, out[i+2:]...)
+		repaired = append(repaired, out[:spliceAt]...)
+		repaired = append(repaired, d...)
+		repaired = append(repaired, out[tail:]...)
 		out = dedupeLoops(repaired)
 	}
 }
 
 // boundedDetour BFS-searches from pred for succ within limit hops, charging
-// one probe per explored edge — including probes toward failed neighbours,
-// which are transmitted and simply never acked (section 7: the explorer
-// only learns a neighbour is gone by paying for the probe). Failed nodes
-// are never traversed. Ties break toward lower node IDs for determinism.
-func boundedDetour(topo *topology.Topology, net *sim.Network, pred, succ topology.NodeID, limit int) (Path, bool) {
+// one probe per explored edge — including probes toward failed neighbours
+// and across cut links, which are transmitted and simply never acked
+// (section 7: the explorer only learns a neighbour is gone by paying for
+// the probe). Failed nodes and unusable links are never traversed. Ties
+// break toward lower node IDs for determinism.
+func boundedDetour(topo *topology.Topology, net *sim.Network, links LinkCheck, pred, succ topology.NodeID, limit int) (Path, bool) {
 	type state struct {
 		id   topology.NodeID
 		hops int
@@ -85,6 +109,9 @@ func boundedDetour(topo *topology.Topology, net *sim.Network, pred, succ topolog
 			// sim.Transfer) but yields no frontier to expand.
 			net.Transfer(Path{cur.id, nb}, probeKeyBytes, sim.Control, sim.Flow{})
 			if !net.Alive(nb) {
+				continue
+			}
+			if links != nil && !links(cur.id, nb) {
 				continue
 			}
 			parent[nb] = cur.id
@@ -117,6 +144,7 @@ type Repairer struct {
 	topo    *topology.Topology
 	net     *sim.Network
 	limit   int
+	links   LinkCheck
 	detours map[detourKey]Path // nil entry = known-unbridgeable gap
 }
 
@@ -129,15 +157,23 @@ func NewRepairer(topo *topology.Topology, net *sim.Network, limit int) *Repairer
 	return &Repairer{topo: topo, net: net, limit: limit, detours: map[detourKey]Path{}}
 }
 
+// SetLinkCheck makes the repairer link-aware: repairs detour around hops
+// the check rejects as well as around dead nodes. Installing a check drops
+// the memoized detours — they were computed for a different link state.
+func (r *Repairer) SetLinkCheck(lc LinkCheck) {
+	r.links = lc
+	r.Reset()
+}
+
 // Repair runs the section 7 limited-exploration repair of path, reusing
 // memoized detours. It returns the repaired path and whether it succeeded.
 func (r *Repairer) Repair(path Path) (Path, bool) {
-	return repairWith(r.net, path, func(pred, succ topology.NodeID) (Path, bool) {
+	return repairWith(r.net, r.links, path, func(pred, succ topology.NodeID) (Path, bool) {
 		key := detourKey{pred, succ}
 		if d, seen := r.detours[key]; seen {
 			return d, d != nil
 		}
-		d, ok := boundedDetour(r.topo, r.net, pred, succ, r.limit)
+		d, ok := boundedDetour(r.topo, r.net, r.links, pred, succ, r.limit)
 		if !ok {
 			d = nil
 		}

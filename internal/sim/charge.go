@@ -63,6 +63,11 @@ func (m *Metrics) Add(o *Metrics) {
 	m.Drops += o.Drops
 	m.Retransmissions += o.Retransmissions
 	m.QueueDrops += o.QueueDrops
+	m.Attempted += o.Attempted
+	m.Delivered += o.Delivered
+	m.CutDrops += o.CutDrops
+	m.Duplicates += o.Duplicates
+	m.DelaySlots += o.DelaySlots
 }
 
 // AttachLedger redirects the network's accounting into b until

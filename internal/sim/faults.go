@@ -1,0 +1,59 @@
+package sim
+
+import "repro/internal/topology"
+
+// LinkState is a fault injector's verdict for one directed hop, consulted
+// by Transfer before the loss process runs. The zero value means "healthy
+// link": Transfer must behave — charge for charge, rng draw for rng draw —
+// exactly as if no injector were installed, which is what keeps a zeroed
+// fault plan byte-identical to the fault-free engine.
+type LinkState struct {
+	// Cut severs the link: a transfer reaching this hop burns the full
+	// retry budget (the sender cannot distinguish a dead link from a dead
+	// receiver) and is dropped, counted in both Drops and CutDrops.
+	Cut bool
+	// ExtraLoss is an additional per-attempt loss probability composed
+	// with the network's ambient LossProb as independent loss events:
+	// p = LossProb + ExtraLoss*(1-LossProb).
+	ExtraLoss float64
+	// DupProb is the probability that a successfully delivered hop is
+	// followed by one charged duplicate transmission (a lost ack).
+	DupProb float64
+	// DelaySlots is bounded extra latency in transmission slots,
+	// accumulated into Metrics.DelaySlots on successful hops. Purely
+	// observational.
+	DelaySlots int
+}
+
+// FaultInjector is the per-hop fault oracle a Network consults on every
+// hop of every Transfer. Implementations must be cheap, pure reads: all
+// randomness behind the returned state has to be drawn when the plan is
+// built or advanced in a sequential section (internal/faults does both),
+// never inside Link, because Link is called concurrently from parallel
+// workers stepping disjoint per-query networks.
+type FaultInjector interface {
+	Link(from, to topology.NodeID) LinkState
+}
+
+// SetFaults installs the fault injector (nil disables injection).
+func (n *Network) SetFaults(f FaultInjector) { n.faults = f }
+
+// Faults returns the installed injector, nil when fault-free.
+func (n *Network) Faults() FaultInjector { return n.faults }
+
+// PathCut reports whether any hop of path is currently severed by the
+// installed fault injector. It is the pre-flight check steppers use to
+// distinguish "transfer failed because the path is partitioned" (abort,
+// fall back) from "transfer failed to random loss" (legacy semantics).
+// Always false without an injector.
+func (n *Network) PathCut(path []topology.NodeID) bool {
+	if n.faults == nil {
+		return false
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if n.faults.Link(path[i], path[i+1]).Cut {
+			return true
+		}
+	}
+	return false
+}

@@ -103,6 +103,27 @@ type Metrics struct {
 	// QueueDrops counts messages lost to per-cycle relay-queue overflow
 	// (only with Network.QueueLimit set).
 	QueueDrops int64
+	// Attempted counts Transfer calls that entered the charging loop (a
+	// live sender with a multi-hop path). Together with Delivered it pins
+	// the end-to-end accounting identity
+	//   Attempted == Delivered + Drops + QueueDrops
+	// which the fault-injection property tests assert under every plan.
+	Attempted int64
+	// Delivered counts Transfer calls that reached the end of the path.
+	Delivered int64
+	// CutDrops counts transfers abandoned at a fault-injected cut link (a
+	// link taken down by the fault plan or severed by a partition). Every
+	// CutDrop is also a Drop; the separate counter is what feeds the
+	// faults.injected_drops gauge.
+	CutDrops int64
+	// Duplicates counts fault-injected duplicate deliveries: the receiver
+	// acked but the ack was lost, so the sender transmitted one extra
+	// (charged) copy the receiver must deduplicate.
+	Duplicates int64
+	// DelaySlots accumulates fault-injected bounded delay, in transmission
+	// slots, over all delivered hops. Delay is observational: it charges
+	// nothing and reorders nothing, it measures how late traffic would be.
+	DelaySlots int64
 }
 
 // KindBytes returns the bytes charged to one traffic class — the
@@ -188,6 +209,14 @@ type Network struct {
 	live      *topology.Liveness
 	observer  HopObserver
 	cycleLoad []int
+	// faults is the installed fault injector (nil = fault-free). Transfer
+	// consults it once per hop; a zero LinkState must leave the hop's
+	// charge and loss-draw sequence byte-identical to no injector at all.
+	faults FaultInjector
+	// retry carries the per-kind retry overrides and backoff cost model;
+	// the public MaxRetries field stays the default bound so existing
+	// callers that set it directly keep working.
+	retry RetryPolicy
 	// begunCycle is the last cycle BeginCycle reset the relay queues for,
 	// so steppers sharing one network cannot double-reset within a cycle.
 	begunCycle int
@@ -211,6 +240,7 @@ func NewSharedNetwork(topo *topology.Topology, lossProb float64, lossSeed uint64
 		Topo:       topo,
 		LossProb:   lossProb,
 		MaxRetries: 3,
+		retry:      DefaultRetryPolicy(),
 		loss:       rng.New(lossSeed).Split(0xC0FFEE),
 		live:       live,
 		cycleLoad:  make([]int, n),
@@ -321,6 +351,8 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 	if !n.live.Alive(path[0]) {
 		return false, 0
 	}
+	retries := n.retriesFor(kind)
+	n.acct.Attempted++
 	size := HeaderBytes + payloadBytes
 	for i := 0; i+1 < len(path); i++ {
 		from, to := path[i], path[i+1]
@@ -336,33 +368,64 @@ func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKin
 		if !n.live.Alive(to) {
 			// Charged but not forwarded: the sender transmits, gets no
 			// ack after all retries, and aborts.
-			n.chargeHopN(from, to, size, kind, 1+n.MaxRetries)
-			n.acct.Retransmissions += int64(n.MaxRetries)
+			n.chargeHopN(from, to, size, kind, 1+retries)
+			n.acct.Retransmissions += int64(retries)
+			n.chargeBackoff(from, to, retries, kind)
 			n.acct.Drops++
+			return false, i
+		}
+		var fs LinkState
+		if n.faults != nil {
+			fs = n.faults.Link(from, to)
+		}
+		if fs.Cut {
+			// A cut link behaves like a dead receiver: the sender cannot
+			// know the link (rather than the node) is gone, so it burns
+			// the full retry budget before giving up.
+			n.chargeHopN(from, to, size, kind, 1+retries)
+			n.acct.Retransmissions += int64(retries)
+			n.chargeBackoff(from, to, retries, kind)
+			n.acct.Drops++
+			n.acct.CutDrops++
 			return false, i
 		}
 		// Draw the loss process exactly as before (one draw per attempt,
 		// stopping at the first success), then account all attempts in one
-		// batched update.
+		// batched update. A fault-injected per-link loss boost composes
+		// with the ambient loss as independent loss events.
+		p := n.LossProb
+		if fs.ExtraLoss > 0 {
+			p += fs.ExtraLoss * (1 - p)
+		}
 		ok := false
 		attempts := 0
-		for attempt := 0; attempt <= n.MaxRetries; attempt++ {
+		for attempt := 0; attempt <= retries; attempt++ {
 			attempts++
-			if !n.loss.Bool(n.LossProb) {
+			if !n.loss.Bool(p) {
 				ok = true
 				break
 			}
 		}
 		n.chargeHopN(from, to, size, kind, attempts)
 		n.acct.Retransmissions += int64(attempts - 1)
+		n.chargeBackoff(from, to, attempts-1, kind)
 		if !ok {
 			n.acct.Drops++
 			return false, i + 1
 		}
+		if fs.DupProb > 0 && n.loss.Bool(fs.DupProb) {
+			// Duplicate delivery: the data arrived but the ack was lost,
+			// so the sender transmits one extra charged copy the receiver
+			// must deduplicate.
+			n.chargeHopN(from, to, size, kind, 1)
+			n.acct.Duplicates++
+		}
+		n.acct.DelaySlots += int64(fs.DelaySlots)
 		if n.observer != nil {
 			n.observer(from, to, kind, flow)
 		}
 	}
+	n.acct.Delivered++
 	return true, len(path) - 1
 }
 
