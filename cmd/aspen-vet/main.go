@@ -1,0 +1,107 @@
+// Command aspen-vet runs the repo's invariant-enforcing static analyzers
+// (internal/analysis) over the given packages, the way go vet runs its
+// suite. The analyzers mechanize the engine's correctness invariants —
+// all randomness through internal/rng (detrand), no map-iteration order
+// leaking into byte-identical output (maporder), observation never
+// feeding back into execution (obsfeedback), and the join stepper
+// concurrency contract (steplock).
+//
+// Usage:
+//
+//	aspen-vet ./...                    # run the full suite
+//	aspen-vet -run detrand,maporder ./internal/engine
+//	aspen-vet -list                    # list analyzers
+//	aspen-vet -json ./...              # machine-readable diagnostics
+//	aspen-vet -allocfree ./...         # escape-analysis alloc gate only
+//
+// With -allocfree the AST analyzers are skipped and the //aspen:allocfree
+// escape-analysis gate runs instead: annotated hot-path functions are
+// checked against go build -gcflags=-m and any heap allocation inside an
+// annotated body is a finding.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code surfaced for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aspen-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	allocFree := fs.Bool("allocfree", false, "run the //aspen:allocfree escape-analysis gate instead of the AST analyzers")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: aspen-vet [-list] [-run a,b] [-json] [-allocfree] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-12s %s\n", "allocfree", "escape-analysis gate over //aspen:allocfree functions (-allocfree)")
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	var diags []analysis.Diagnostic
+	var err error
+	if *allocFree {
+		diags, err = analysis.CheckAllocFree(".", patterns...)
+	} else {
+		var analyzers []*analysis.Analyzer
+		analyzers, err = analysis.ByName(*runNames)
+		if err == nil {
+			var pkgs []*analysis.Package
+			pkgs, err = analysis.Load(".", patterns...)
+			if err == nil {
+				diags, err = analysis.Run(pkgs, analyzers)
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "aspen-vet: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "aspen-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListNamesEverything pins that -list advertises the full suite plus
+// the allocfree gate, and exits 0.
+func TestListNamesEverything(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, stderr %q", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"detrand", "maporder", "obsfeedback", "steplock", "allocfree"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestUsageErrors pins exit status 2 for bad flags and unknown analyzers.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-run", "nosuch", "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-run nosuch exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr does not explain the unknown analyzer: %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"./does/not/exist"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad pattern exit = %d, want 2", code)
+	}
+}
+
+// TestCleanPackageExitsZero runs the suite over a package with no
+// violations.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"repro/internal/rng"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+// vetDiag mirrors the JSON shape of analysis.Diagnostic as consumers see
+// it, so a field rename breaks this test rather than downstream tooling.
+type vetDiag struct {
+	Position struct {
+		Filename string `json:"Filename"`
+		Line     int    `json:"Line"`
+	} `json:"position"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// TestJSONFindings runs one analyzer over its golden fixture: findings
+// exit 1 and decode as a JSON array of position/analyzer/message.
+func TestJSONFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-run", "detrand", "repro/internal/analysis/testdata/src/detrand"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings); stderr %q", code, stderr.String())
+	}
+	var diags []vetDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output decoded to zero findings")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "detrand" {
+			t.Errorf("analyzer = %q, want detrand", d.Analyzer)
+		}
+		if d.Position.Filename == "" || d.Position.Line == 0 || d.Message == "" {
+			t.Errorf("finding missing fields: %+v", d)
+		}
+	}
+}
+
+// TestJSONCleanEmitsEmptyArray pins that -json always emits valid JSON,
+// even with nothing to report.
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "repro/internal/rng"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, stderr.String())
+	}
+	var diags []vetDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("clean -json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean -json decoded %d findings", len(diags))
+	}
+}
+
+// TestAllocFreeFlag routes -allocfree to the escape gate: a package with
+// no annotations is trivially clean.
+func TestAllocFreeFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-allocfree", "repro/internal/rng"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-allocfree exit = %d, stderr %q", code, stderr.String())
+	}
+}

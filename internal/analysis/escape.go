@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The allocfree gate turns PR 2's benchmark-pinned allocation budget into
+// a compile-time check. A function annotated //aspen:allocfree in its doc
+// comment declares its body steady-state allocation-free; the gate runs
+// the compiler's own escape analysis (go build -gcflags=-m) and fails if
+// any heap allocation ("escapes to heap" / "moved to heap") lands inside
+// an annotated body. Benchmarks catch an alloc regression when someone
+// runs them; the gate catches it on every CI build.
+//
+// Attribution is by source range: a diagnostic belongs to the annotated
+// function whose body span contains its line. Allocations inside callees
+// are attributed to the callee's own source position even when inlined,
+// so annotating a function covers exactly the code written in it — the
+// deliberate shape for hot paths whose cold helpers (lazy ring growth,
+// recovery) may allocate.
+//
+// Escape hatch: //aspen:alloc on the allocation's line (or the line
+// above) waives one audited cold-path allocation inside an annotated
+// function.
+
+// allocFreeFunc is one annotated function's body span.
+type allocFreeFunc struct {
+	name     string
+	from, to int // line range, inclusive
+}
+
+// escapeLine matches `file.go:12:6: make([]byte, n) escapes to heap`.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// CheckAllocFree runs the escape-analysis gate over the packages matched
+// by patterns (resolved by `go list` in dir). It returns one Diagnostic
+// per heap allocation inside an //aspen:allocfree function.
+func CheckAllocFree(dir string, patterns ...string) ([]Diagnostic, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The compiler reports source paths relative to the module root, not
+	// the invocation directory.
+	root := absDir
+	modCmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	modCmd.Dir = dir
+	if out, err := modCmd.Output(); err == nil {
+		if d := strings.TrimSpace(string(out)); d != "" {
+			root = d
+		}
+	}
+	listed, err := goList(dir, append([]string{"list", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+
+	byFile := map[string][]allocFreeFunc{} // absolute path -> annotated spans
+	waived := map[string]map[int]bool{}    // file -> lines carrying //aspen:alloc
+	var buildPkgs []string
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		found := false
+		for _, name := range p.GoFiles {
+			path := filepath.Join(p.Dir, name)
+			fns, waives, err := annotatedFuncs(path)
+			if err != nil {
+				return nil, err
+			}
+			if len(fns) > 0 {
+				byFile[path] = fns
+				found = true
+			}
+			if len(waives) > 0 {
+				waived[path] = waives
+			}
+		}
+		if found {
+			buildPkgs = append(buildPkgs, p.ImportPath)
+		}
+	}
+	if len(buildPkgs) == 0 {
+		return nil, nil
+	}
+
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, buildPkgs...)...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	var diags []Diagnostic
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			// Module-root relative is the usual shape; fall back to the
+			// invocation directory for paths outside the module.
+			if cand := filepath.Join(root, file); len(byFile[cand]) > 0 || waived[cand] != nil {
+				file = cand
+			} else {
+				file = filepath.Join(absDir, file)
+			}
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		if waived[file][ln] || waived[file][ln-1] {
+			continue
+		}
+		for _, fn := range byFile[file] {
+			if fn.from <= ln && ln <= fn.to {
+				diags = append(diags, Diagnostic{
+					Position: token.Position{Filename: file, Line: ln, Column: col},
+					Analyzer: "allocfree",
+					Message:  fmt.Sprintf("%s is //aspen:allocfree but %s", fn.name, m[4]),
+				})
+				break
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		return a.Position.Line < b.Position.Line
+	})
+	return diags, nil
+}
+
+// annotatedFuncs parses one file and returns its //aspen:allocfree
+// function spans plus the lines waived with //aspen:alloc.
+func annotatedFuncs(path string) ([]allocFreeFunc, map[int]bool, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	var funcs []allocFreeFunc
+	waives := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			for _, tag := range parseTags(c.Text) {
+				if tag == "alloc" {
+					waives[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		annotated := false
+		for _, c := range fd.Doc.List {
+			for _, tag := range parseTags(c.Text) {
+				if tag == "allocfree" {
+					annotated = true
+				}
+			}
+		}
+		if !annotated {
+			continue
+		}
+		name := fd.Name.Name
+		if fd.Recv != nil && len(fd.Recv.List) > 0 {
+			if recv := recvString(fd.Recv.List[0].Type); recv != "" {
+				name = recv + "." + name
+			}
+		}
+		funcs = append(funcs, allocFreeFunc{
+			name: name,
+			from: fset.Position(fd.Body.Pos()).Line,
+			to:   fset.Position(fd.Body.End()).Line,
+		})
+	}
+	return funcs, waives, nil
+}
+
+// recvString renders a receiver type expression ("*Network" -> "Network").
+func recvString(t ast.Expr) string {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

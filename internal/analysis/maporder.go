@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder enforces the byte-identity invariant against its classic
+// killer: Go's randomized map-iteration order leaking into execution. In
+// a deterministic package, any `for ... range m` where m is a map is
+// flagged unless the loop body is provably order-invariant — every
+// statement is a commutative integer accumulation, a write to a distinct
+// per-key slot, or a delete — or the site carries //aspen:orderinvariant
+// (the auditor's assertion that ordering cannot reach output, e.g. the
+// iteration feeds a sort).
+//
+// The body check is deliberately conservative: float accumulation is NOT
+// order-invariant (rounding), appends are NOT (element order), branches
+// are NOT (min/max tie-breaks). Anything the checker cannot prove needs
+// either a fix (iterate a sorted key slice / a dense index) or the
+// annotation with an audit trail.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map in deterministic packages unless the body is order-invariant or //aspen:orderinvariant",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	if !p.Deterministic() {
+		return nil
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Pkg.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if p.Annotated("orderinvariant", rs) {
+				return true
+			}
+			if orderInvariantBody(p, rs) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "range over map in deterministic package %s: iteration order is randomized; iterate a sorted key slice, or annotate //aspen:orderinvariant after auditing that order cannot reach output", p.Pkg.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInvariantBody reports whether every statement of the range body is
+// one of the recognized commutative forms, so executing iterations in any
+// order yields identical state.
+func orderInvariantBody(p *Pass, rs *ast.RangeStmt) bool {
+	keyName := ""
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+	}
+	for _, stmt := range rs.Body.List {
+		if !orderInvariantStmt(p, stmt, keyName, rs.X) {
+			return false
+		}
+	}
+	return true
+}
+
+// commutativeAssignOps can be reordered freely over integer operands.
+var commutativeAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.OR_ASSIGN:  true,
+	token.AND_ASSIGN: true,
+	token.XOR_ASSIGN: true,
+}
+
+func orderInvariantStmt(p *Pass, stmt ast.Stmt, keyName string, ranged ast.Expr) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// counter++ / counter-- on an integer accumulator.
+		return isIntegral(p, s.X) && pureExpr(p, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		if !pureExpr(p, rhs) {
+			return false
+		}
+		// m2[k] = v / m2[k] op= v: writes land on distinct keys, so
+		// iterations touch disjoint state.
+		if ix, ok := lhs.(*ast.IndexExpr); ok && keyName != "" {
+			if id, ok := ix.Index.(*ast.Ident); ok && id.Name == keyName && pureExpr(p, ix.X) {
+				if s.Tok == token.ASSIGN || commutativeAssignOps[s.Tok] {
+					return true
+				}
+			}
+			return false
+		}
+		// acc += v and friends on integer accumulators commute; float
+		// accumulation does not (rounding is order-dependent).
+		return commutativeAssignOps[s.Tok] && isIntegral(p, lhs) && pureExpr(p, lhs)
+	case *ast.ExprStmt:
+		// delete(m, k): each iteration removes its own key.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "delete" {
+			return false
+		}
+		if obj := p.Pkg.Info.Uses[id]; obj == nil || obj.Pkg() != nil {
+			return false // shadowed delete
+		}
+		k, ok := call.Args[1].(*ast.Ident)
+		return ok && keyName != "" && k.Name == keyName
+	default:
+		return false
+	}
+}
+
+// isIntegral reports whether e has integer type (no floats: float
+// addition is not associative, so reduction order changes the result).
+func isIntegral(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pureExpr reports whether evaluating e cannot have side effects: only
+// identifiers, field/index reads, literals, operators, conversions and
+// len/cap. Any other call is assumed impure.
+func pureExpr(p *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if obj := p.Pkg.Info.Uses[id]; obj != nil && obj.Pkg() == nil {
+				switch id.Name {
+				case "len", "cap", "min", "max":
+					return true // pure builtins; recurse into args
+				}
+			}
+		}
+		// Type conversions are pure.
+		if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true
+		}
+		pure = false
+		return false
+	})
+	return pure
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// obsPkgPath is the observability layer whose values must never flow
+// back into execution.
+const obsPkgPath = "repro/internal/obs"
+
+// ObsFeedback mechanizes PR 6's one-way-mirror invariant: internal/obs
+// observes execution, execution never reads internal/obs. Inside the
+// deterministic package set, calling any obs method that returns an
+// observed value (Counter.Value, Gauge.Value, Registry.Snapshot,
+// Tracer.Events, ...) is flagged — if execution branched on a metric,
+// enabling observability could change simulated output and every
+// byte-identity checksum with it.
+//
+// Exemptions: handle constructors (methods whose results are themselves
+// obs types, e.g. Registry.Counter), Enabled (a configuration predicate —
+// it reveals whether observation is on, which instrumented code may gate
+// on, never an observed value), and error-only results (Write* emitters).
+// Escape hatch //aspen:obsread marks deliberate introspection surfaces
+// (engine.Snapshot) that exist to EXPORT observed state, audited to feed
+// nothing back in.
+var ObsFeedback = &Analyzer{
+	Name: "obsfeedback",
+	Doc:  "forbid reading values out of internal/obs handles inside deterministic packages (observation must not feed back into execution)",
+	Run:  runObsFeedback,
+}
+
+func runObsFeedback(p *Pass) error {
+	if !p.Deterministic() || p.Pkg.PkgPath == obsPkgPath {
+		return nil
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				checkObsCall(p, call)
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkObsFieldRead(p, sel)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkObsCall flags method calls on obs handles that return observed
+// values. Package-level obs functions are not checked: with no handle
+// receiver they cannot read observed state (they are constructors and
+// bucket-bounds builders).
+func checkObsCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := p.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	recvName, fromObs := typeFromPkg(s.Recv(), obsPkgPath)
+	if !fromObs {
+		return
+	}
+	sig, _ := s.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return
+	}
+	if sel.Sel.Name == "Enabled" {
+		return
+	}
+	if allResultsHarmless(sig) {
+		return
+	}
+	if p.Annotated("obsread", call) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s.%s reads a value out of internal/obs inside deterministic package %s: observation must never feed back into execution (annotate //aspen:obsread only on audited export surfaces)", recvName, sel.Sel.Name, p.Pkg.Name)
+}
+
+// checkObsFieldRead flags direct field access on obs-declared structs
+// (Snapshot.Counters, Event.Name, ...) — the other way observed values
+// could leak into execution, bypassing the getter methods.
+func checkObsFieldRead(p *Pass, sel *ast.SelectorExpr) {
+	s := p.Pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	recvName, fromObs := typeFromPkg(s.Recv(), obsPkgPath)
+	if !fromObs {
+		return
+	}
+	if p.Annotated("obsread", sel) {
+		return
+	}
+	p.Reportf(sel.Pos(), "%s.%s field read on an internal/obs value inside deterministic package %s: observation must never feed back into execution (annotate //aspen:obsread only on audited export surfaces)", recvName, sel.Sel.Name, p.Pkg.Name)
+}
+
+// allResultsHarmless reports whether every result is an obs-declared type
+// (a handle, not an observed value) or error (emitter status).
+func allResultsHarmless(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if _, fromObs := typeFromPkg(t, obsPkgPath); fromObs {
+			continue
+		}
+		if named := namedOf(t); named != nil && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,34 @@
+// Package allocfree is the fixture for the //aspen:allocfree escape
+// gate: an annotated function with zero heap allocations, an annotated
+// function whose one cold-path allocation carries the //aspen:alloc
+// waiver, and an unannotated function free to allocate. The gate's tests
+// run CheckAllocFree over this package (clean) and over a temp-module
+// copy with a deliberate make([]byte, n) injected (one finding).
+package allocfree
+
+// Accum folds src into dst in place.
+//
+//aspen:allocfree
+func Accum(dst, src []int64) {
+	for i, v := range src {
+		dst[i%len(dst)] += v
+	}
+}
+
+// Push appends one value, growing through a single audited cold-path
+// allocation when capacity runs out.
+//
+//aspen:allocfree
+func Push(dst []int64, v int64) []int64 {
+	if len(dst) == cap(dst) {
+		grown := make([]int64, len(dst), 2*cap(dst)+1) //aspen:alloc audited cold-path growth
+		copy(grown, dst)
+		dst = grown
+	}
+	return append(dst, v)
+}
+
+// Fresh is unannotated: it may allocate freely.
+func Fresh(n int) []int64 {
+	return make([]int64, n)
+}

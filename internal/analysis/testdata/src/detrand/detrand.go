@@ -1,0 +1,47 @@
+// Package detrand is a golden-test fixture for the detrand analyzer:
+// wall-clock reads and math/rand draws in a package opted into the
+// deterministic set, plus the //aspen:wallclock escape hatch in both of
+// its placements (same line, enclosing doc comment).
+//
+//aspen:deterministic
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice, unannotated: both flagged.
+func Elapsed() time.Duration {
+	start := time.Now()      // want "time.Now in deterministic package detrand"
+	return time.Since(start) // want "time.Since in deterministic package detrand"
+}
+
+// Deadline uses the third clock reader.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in deterministic package detrand"
+}
+
+// Stamp is an audited observability timing path: the doc-comment hatch
+// covers every clock read in the body.
+//
+//aspen:wallclock
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// InlineHatch demonstrates the same-line escape hatch.
+func InlineHatch() time.Time {
+	return time.Now() //aspen:wallclock audited trace timestamp
+}
+
+// Draw uses math/rand, which has no escape hatch: deterministic code
+// draws through internal/rng.
+func Draw() int {
+	return rand.Intn(10) // want `math/rand.Intn in deterministic package detrand`
+}
+
+// Epoch is allowed: time.Unix converts, it does not read the clock.
+func Epoch() time.Time {
+	return time.Unix(0, 0)
+}

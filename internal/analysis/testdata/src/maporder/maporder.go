@@ -1,0 +1,76 @@
+// Package maporder is a golden-test fixture for the maporder analyzer:
+// range-over-map loops whose bodies the checker proves order-invariant
+// (commutative integer accumulation, distinct-key writes, deletes),
+// loops it must flag (element order, float rounding), and the
+// //aspen:orderinvariant escape hatch.
+//
+//aspen:deterministic
+package maporder
+
+import "sort"
+
+// SumCounts is auto-proved: integer += commutes over any iteration order.
+func SumCounts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MarkAll is auto-proved: each iteration writes a distinct key's slot.
+func MarkAll(m map[string]int, seen map[string]bool) {
+	for k := range m {
+		seen[k] = true
+	}
+}
+
+// Drain is auto-proved: each iteration deletes its own key.
+func Drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Keys appends in randomized order but sorts before returning; the
+// checker cannot see the post-loop sort, so the site carries the hatch.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//aspen:orderinvariant keys collected then sorted before use
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invert writes keyed by the VALUE, so colliding values land on the
+// same slot and the last iteration wins: order reaches output.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want "range over map in deterministic package maporder"
+		out[v] = k
+	}
+	return out
+}
+
+// SumWeights accumulates floats: rounding makes += order-dependent.
+func SumWeights(m map[string]float64) float64 {
+	var total float64
+	for _, w := range m { // want "range over map in deterministic package maporder"
+		total += w
+	}
+	return total
+}
+
+// FirstKey branches on a comparison: a min-reduction tie-break the
+// checker rightly refuses to prove.
+func FirstKey(m map[int]string) int {
+	best := -1
+	for k := range m { // want "range over map in deterministic package maporder"
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}

@@ -1,0 +1,44 @@
+// Package obsfeedback is a golden-test fixture for the obsfeedback
+// analyzer: reads of observed values (getter methods and struct field
+// access) inside a package opted into the deterministic set, next to the
+// exempt shapes — handle constructors, emitters, the Enabled predicate —
+// and the //aspen:obsread escape hatch.
+//
+//aspen:deterministic
+package obsfeedback
+
+import "repro/internal/obs"
+
+// BranchOnMetric is the invariant violation in its purest form: a
+// control-flow decision fed by an observed counter.
+func BranchOnMetric(r *obs.Registry) bool {
+	c := r.Counter("drops") // constructor: result is an obs handle, exempt
+	c.Inc()                 // emitter: no results, exempt
+	return c.Value() > 0    // want "Counter.Value reads a value out of internal/obs"
+}
+
+// FieldLeak bypasses the getters by reading an exported snapshot field.
+func FieldLeak(r *obs.Registry) int {
+	snap := r.Snapshot()      // result is an obs value type, exempt as a call
+	return len(snap.Counters) // want "Snapshot.Counters field read on an internal/obs value"
+}
+
+// LookupLeak reads a named metric back out of a snapshot.
+func LookupLeak(snap obs.Snapshot) int64 {
+	v, _ := snap.Value("drops") // want "Snapshot.Value reads a value out of internal/obs"
+	return v
+}
+
+// GateOnEnabled is exempt: Enabled is a configuration predicate, not an
+// observed value — instrumented code may gate emission on it.
+func GateOnEnabled(r *obs.Registry) bool {
+	return r.Enabled()
+}
+
+// Export is an audited export surface: the observed value flows out to
+// the caller, never back into execution.
+//
+//aspen:obsread
+func Export(g obs.Gauge) int64 {
+	return g.Value()
+}

@@ -816,16 +816,14 @@ func (e *Engine) stepLive(epoch int, qs []*Query) {
 	}
 	if workers <= 1 {
 		if !e.observing() {
-			for _, q := range qs {
-				q.stepper.Step(epoch - q.admitEpoch)
-			}
+			e.stepSequential(epoch, qs)
 			return
 		}
 		lane := e.opts.Trace.Lane(1)
 		for _, q := range qs {
-			t0 := time.Now()
+			t0 := time.Now() //aspen:wallclock obs-only worker timing
 			q.stepper.Step(epoch - q.admitEpoch)
-			busy.Add(0, time.Since(t0).Microseconds())
+			busy.Add(0, time.Since(t0).Microseconds()) //aspen:wallclock obs-only worker timing
 			steps.Add(0, 1)
 			lane.Span(q.ID, epoch, q.ID, t0)
 		}
@@ -856,9 +854,9 @@ func (e *Engine) stepLive(epoch int, qs []*Query) {
 					q.stepper.Step(epoch - q.admitEpoch)
 					continue
 				}
-				t0 := time.Now()
+				t0 := time.Now() //aspen:wallclock obs-only worker timing
 				q.stepper.Step(epoch - q.admitEpoch)
-				busy.Add(w, time.Since(t0).Microseconds())
+				busy.Add(w, time.Since(t0).Microseconds()) //aspen:wallclock obs-only worker timing
 				steps.Add(w, 1)
 				lane.Span(q.ID, epoch, q.ID, t0)
 			}
@@ -868,6 +866,19 @@ func (e *Engine) stepLive(epoch int, qs []*Query) {
 	for _, q := range qs {
 		q.net.DetachLedger()
 		q.net.MergeLedger(q.ledger)
+	}
+}
+
+// stepSequential is the steady-state sequential fast path: one worker,
+// observability disabled — every live query steps once, nothing else.
+// This is the loop whose allocation budget PR 2 pinned with benchmarks;
+// the //aspen:allocfree gate holds it at zero heap allocations per call
+// (stepper-internal state is covered by the annotated Step methods).
+//
+//aspen:allocfree
+func (e *Engine) stepSequential(epoch int, qs []*Query) {
+	for _, q := range qs {
+		q.stepper.Step(epoch - q.admitEpoch)
 	}
 }
 

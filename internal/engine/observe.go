@@ -153,6 +153,9 @@ type phaseTimer struct {
 }
 
 // startPhases begins an epoch's timing (no-op timer when disabled).
+// The clock reading flows only into phase histograms and trace spans.
+//
+//aspen:wallclock
 func (e *Engine) startPhases() phaseTimer {
 	if !e.observing() {
 		return phaseTimer{}
@@ -163,6 +166,8 @@ func (e *Engine) startPhases() phaseTimer {
 
 // done closes the current phase: one histogram observation and one trace
 // span, then re-arms for the next phase.
+//
+//aspen:wallclock
 func (p *phaseTimer) done(phase, epoch int) {
 	if !p.on {
 		return
@@ -175,6 +180,8 @@ func (p *phaseTimer) done(phase, epoch int) {
 }
 
 // finish closes the whole-epoch span and histogram.
+//
+//aspen:wallclock
 func (p *phaseTimer) finish(epoch int) {
 	if !p.on {
 		return

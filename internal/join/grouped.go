@@ -39,6 +39,7 @@ func (Naive) Start(cfg *Config) Stepper {
 		rec:       newRecorder(res),
 		st:        baseState(cfg),
 		producers: eligibleProducers(cfg.Spec, cfg.Topo.N()),
+		done:      make([]bool, cfg.Topo.N()),
 	}
 }
 
@@ -52,13 +53,15 @@ type baseStepper struct {
 	producers []producerSlot
 	filter    *participantFilter
 	// done and matchBuf are per-cycle scratch (dual-role dedup marks and
-	// the reusable Arrive buffer) so steady-state Step calls do not
-	// allocate; done is cleared after every cycle.
+	// the reusable Arrive buffer) so Step calls never allocate; done is
+	// sized at Start and cleared after every cycle.
 	done     []bool
 	matchBuf []window.Match
 }
 
 // Step implements Stepper.
+//
+//aspen:allocfree
 func (b *baseStepper) Step(cycle int) {
 	maybeFail(b.cfg, cycle)
 	if b.cfg.Merge {
@@ -72,11 +75,10 @@ func (b *baseStepper) Step(cycle int) {
 // producers sample, admitted tuples travel up the base tree, and the base
 // joins them. b.filter, when non-nil, drops producer slots not in the set
 // (Base's pre-filtering).
+//
+//aspen:allocfree
 func (b *baseStepper) runCycle(cycle int) {
 	cfg := b.cfg
-	if b.done == nil {
-		b.done = make([]bool, cfg.Topo.N())
-	}
 	for _, p := range b.producers {
 		if b.filter != nil && !b.filter.has(p) {
 			continue
@@ -159,6 +161,7 @@ func (Base) Start(cfg *Config) Stepper {
 		st:        st,
 		producers: producers,
 		filter:    participantSet(cfg.Spec, cfg.Topo.N()),
+		done:      make([]bool, cfg.Topo.N()),
 	}
 }
 
@@ -253,9 +256,12 @@ type yangStepper struct {
 	states      []*window.State
 	partnersOfS [][]topology.NodeID
 	matchBuf    []window.Match // reusable Arrive buffer
+	downBuf     routing.Path   // reusable reversed-path scratch
 }
 
 // Step implements Stepper.
+//
+//aspen:allocfree
 func (y *yangStepper) Step(cycle int) {
 	cfg, rec := y.cfg, y.rec
 	maybeFail(cfg, cycle)
@@ -290,7 +296,8 @@ func (y *yangStepper) Step(cycle int) {
 			continue
 		}
 		for _, t := range targets {
-			down := cfg.Sub.PathToBase(t).Reverse()
+			down := y.downBuf.ReverseOf(cfg.Sub.PathToBase(t))
+			y.downBuf = down
 			if ok, _ := cfg.Net.Transfer(down, sim.TupleBytes, sim.Data, sim.Flow{Src: s, Dst: t}); ok {
 				y.matchBuf = y.states[t].ArriveAppend(y.matchBuf[:0], s, query.S, v, cycle)
 				sendResults(cfg, rec, t, len(y.matchBuf), cycle)
@@ -461,6 +468,8 @@ func (h *hashedStepper) HandleNodeFailure(failed []topology.NodeID, rp *routing.
 }
 
 // Step implements Stepper.
+//
+//aspen:allocfree
 func (h *hashedStepper) Step(cycle int) {
 	cfg := h.cfg
 	maybeFail(cfg, cycle)

@@ -192,6 +192,8 @@ func (in Innet) Start(cfg *Config) Stepper {
 }
 
 // Step implements Stepper.
+//
+//aspen:allocfree
 func (e *engine) Step(cycle int) {
 	maybeFail(e.cfg, cycle)
 	e.runCycle(cycle)
@@ -251,6 +253,7 @@ func (e *engine) initiate() {
 		}
 		found := cfg.Sub.FindTargets(s, cfg.Spec.SearchMatcher(s, cfg.Sub), cfg.Net)
 		targets := make([]topology.NodeID, 0, len(found))
+		//aspen:orderinvariant keys collected then sorted before use
 		for t := range found {
 			targets = append(targets, t)
 		}
@@ -486,6 +489,7 @@ func (e *engine) groupDecision(group []*pairState, opt costmodel.Params, charge 
 			DPR:      e.cfg.Sub.DepthToBase(key.id),
 		}
 		js := make([]topology.NodeID, 0, len(a.nodes))
+		//aspen:orderinvariant keys collected then sorted before use
 		for j := range a.nodes {
 			js = append(js, j)
 		}

@@ -58,6 +58,7 @@ func deliverMergedToBase(cfg *Config, senders []mergedSender) []mergedSender {
 	// Transmit deepest-first so a parent edge fires after its children's
 	// (one merged packet per edge per cycle).
 	nodes := make([]topology.NodeID, 0, len(carried))
+	//aspen:orderinvariant keys collected then sorted (deepest-first) before use
 	for n := range carried {
 		nodes = append(nodes, n)
 	}

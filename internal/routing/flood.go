@@ -79,6 +79,7 @@ func (s *Substrate) UpdateAttribute(net *sim.Network, attr string, assign map[to
 	}
 	addressed := map[topology.NodeID]bool{}
 	ids := make([]topology.NodeID, 0, len(assign))
+	//aspen:orderinvariant set-build plus keys collected then sorted before use
 	for id := range assign {
 		addressed[id] = true
 		ids = append(ids, id)

@@ -62,6 +62,7 @@ func (s *Substrate) FindTargets(src topology.NodeID, m Matcher, net *sim.Network
 	// order so the loss process consumes draws deterministically.
 	if net != nil {
 		targets := make([]topology.NodeID, 0, len(found))
+		//aspen:orderinvariant keys collected then sorted before use
 		for target := range found {
 			targets = append(targets, target)
 		}

@@ -35,6 +35,18 @@ func (p Path) Reverse() Path {
 	return q
 }
 
+// ReverseOf fills the receiver's storage with src reversed and returns
+// the result, growing only when capacity is short — the allocation-free
+// variant of Reverse for hot loops that reuse one scratch path across
+// cycles. The returned path aliases the receiver's array, never src's.
+func (p Path) ReverseOf(src Path) Path {
+	q := append(p[:0], src...)
+	for i, j := 0, len(q)-1; i < j; i, j = i+1, j-1 {
+		q[i], q[j] = q[j], q[i]
+	}
+	return q
+}
+
 // Hops returns the hop count (len-1, or 0 for degenerate paths).
 func (p Path) Hops() int {
 	if len(p) < 2 {

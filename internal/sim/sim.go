@@ -344,6 +344,8 @@ func (n *Network) chargeHopN(from, to topology.NodeID, bytes int, kind MsgKind, 
 //
 // flow is optional metadata handed to the snooping observer; pass Flow{}
 // when irrelevant.
+//
+//aspen:allocfree
 func (n *Network) Transfer(path []topology.NodeID, payloadBytes int, kind MsgKind, flow Flow) (delivered bool, hops int) {
 	if len(path) < 2 {
 		return true, 0

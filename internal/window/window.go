@@ -153,6 +153,8 @@ func (st *State) Arrive(p topology.NodeID, role query.Rel, value int32, cycle in
 // appended to dst and the extended slice returned, so a hot loop that
 // reuses its buffer across cycles joins without allocating. Ring iteration
 // is by index (no callback) for the same reason.
+//
+//aspen:allocfree
 func (st *State) ArriveAppend(dst []Match, p topology.NodeID, role query.Rel, value int32, cycle int) []Match {
 	if role == query.S {
 		dst = st.probeAsS(dst, p, value, cycle)
@@ -165,6 +167,8 @@ func (st *State) ArriveAppend(dst []Match, p topology.NodeID, role query.Rel, va
 
 // probeAsS joins value (from producer p acting as S) against the buffered
 // windows of p's T partners.
+//
+//aspen:allocfree
 func (st *State) probeAsS(dst []Match, p topology.NodeID, value int32, cycle int) []Match {
 	for _, t := range st.partnersS[p] {
 		win, ok := st.windows[t]
@@ -183,6 +187,8 @@ func (st *State) probeAsS(dst []Match, p topology.NodeID, value int32, cycle int
 
 // probeAsT joins value (from producer p acting as T) against the buffered
 // windows of p's S partners.
+//
+//aspen:allocfree
 func (st *State) probeAsT(dst []Match, p topology.NodeID, value int32, cycle int) []Match {
 	for _, s := range st.partnersT[p] {
 		win, ok := st.windows[s]
@@ -219,6 +225,8 @@ func (st *State) ArriveBoth(p topology.NodeID, value int32, cycle int) []Match {
 
 // ArriveBothAppend is ArriveBoth with a caller-supplied result buffer,
 // mirroring ArriveAppend.
+//
+//aspen:allocfree
 func (st *State) ArriveBothAppend(dst []Match, p topology.NodeID, value int32, cycle int) []Match {
 	dst = st.probeAsS(dst, p, value, cycle)
 	dst = st.probeAsT(dst, p, value, cycle)
@@ -257,6 +265,7 @@ func (st *State) Restore(tuples []Tuple) {
 // per query at the epoch barrier.
 func (st *State) Tuples() int {
 	n := 0
+	//aspen:orderinvariant commutative integer sum (ring length getter)
 	for _, r := range st.windows {
 		n += r.len()
 	}
