@@ -13,6 +13,7 @@
 //	aspen-bench -compare BENCH_engine.json   # diff against the last report
 //	aspen-bench -compare BENCH_engine.json -fail-on-drift  # CI determinism gate
 //	aspen-bench -workers 4               # step engine scenarios on 4 workers
+//	aspen-bench -max-heap-bytes 400000000    # gate heap-measuring scenarios
 //	aspen-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	aspen-bench -quick -trace trace.json # Chrome trace of the measured run
 //	aspen-bench -list                    # scenario names and descriptions
@@ -48,6 +49,7 @@ func main() {
 		compare     = flag.String("compare", "", "previous report to diff against (after measuring)")
 		failOnDrift = flag.Bool("fail-on-drift", false, "exit non-zero when -compare detects a determinism-checksum change (CI gate)")
 		workers     = flag.Int("workers", 0, "engine worker override for the sequential engine scenarios (0 = committed defaults; pinned -wN scenarios keep their counts)")
+		maxHeap     = flag.Int64("max-heap-bytes", 0, "fail when a heap-measuring scenario exceeds its committed ceiling or this global cap (0 = report heap without gating)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile taken after the measured run to this file")
 		tracePath   = flag.String("trace", "", "write a chrome://tracing file of the measured run to this path (.jsonl suffix selects JSONL; best with -quick)")
@@ -140,6 +142,40 @@ func main() {
 		fmt.Printf("%-14s %3d %6d %12.2f %12d %14.1f %16.1f\n",
 			r.Name, r.Workers, r.Iterations, float64(r.NsPerOp)/1e6, r.AllocsPerOp,
 			float64(r.TrafficBytesPerOp)/1024, r.SimBytesPerWallSecond/(1024*1024))
+		if r.HeapBytes > 0 {
+			fmt.Printf("%-14s     live heap %.1f MB (ceiling %.1f MB)\n",
+				"", float64(r.HeapBytes)/(1024*1024), float64(r.HeapCeilingBytes)/(1024*1024))
+		}
+	}
+
+	// The heap gate runs before -compare so an over-ceiling run fails even
+	// when its checksums are clean: memory scale is part of the contract.
+	if *maxHeap > 0 {
+		over := false
+		for _, r := range rep.Results {
+			if r.HeapBytes == 0 {
+				continue
+			}
+			if r.HeapCeilingBytes > 0 && r.HeapBytes > r.HeapCeilingBytes {
+				fmt.Fprintf(os.Stderr, "heap gate: %s live heap %d bytes exceeds its committed ceiling %d\n",
+					r.Name, r.HeapBytes, r.HeapCeilingBytes)
+				over = true
+			}
+			if r.HeapBytes > *maxHeap {
+				fmt.Fprintf(os.Stderr, "heap gate: %s live heap %d bytes exceeds -max-heap-bytes %d\n",
+					r.Name, r.HeapBytes, *maxHeap)
+				over = true
+			}
+		}
+		if over {
+			if *out != "" {
+				if err := rep.WriteFile(*out); err != nil {
+					fatal(err)
+				}
+			}
+			stopCPUProfile()
+			os.Exit(1)
+		}
 	}
 
 	if prev != nil {
@@ -155,7 +191,7 @@ func main() {
 		for _, d := range deltas {
 			switch {
 			case d.Old == nil:
-				fmt.Printf("%-14s new scenario\n", d.Name)
+				fmt.Printf("%-14s scenario missing from baseline %s (new since that report; re-record to compare)\n", d.Name, *compare)
 			case d.New == nil:
 				fmt.Printf("%-14s removed\n", d.Name)
 				// A baseline scenario vanishing is determinism drift too —

@@ -27,6 +27,23 @@ var StepLock = &Analyzer{
 	Run:  runStepLock,
 }
 
+// stepLockPkgs is the package set whose Step methods the analyzer audits:
+// the join steppers (parallel workers) and the engine package itself —
+// Engine.Step is the scheduler, whose shared-state mutation must route
+// through the named sequential-phase helpers (applyChurn, admit, …), not
+// sit inline in Step where a refactor could drift it past the barrier.
+var stepLockPkgs = map[string]bool{"join": true, "engine": true}
+
+// stepForbiddenFuncs maps package path -> package-level functions
+// forbidden inside Step: the tree-maintenance entry points mutate (or
+// replace) routing trees every worker reads, so they are barrier-only.
+var stepForbiddenFuncs = map[string]map[string]bool{
+	"repro/internal/routing": {
+		"PatchTreeLive":   true, // patches Parent/Depth/Children/paths in place
+		"RebuildTreeLive": true, // reads the liveness view mid-mutation
+	},
+}
+
 // stepForbidden maps package path -> receiver type -> forbidden methods.
 // A nil method set forbids every method of the type.
 var stepForbidden = map[string]map[string]map[string]bool{
@@ -55,7 +72,7 @@ var stepForbidden = map[string]map[string]map[string]bool{
 }
 
 func runStepLock(p *Pass) error {
-	if p.Pkg.Name != "join" {
+	if !stepLockPkgs[p.Pkg.Name] {
 		return nil
 	}
 	for _, f := range p.Pkg.Files {
@@ -81,7 +98,25 @@ func checkStepBody(p *Pass, fd *ast.FuncDecl) {
 			return true
 		}
 		s := p.Pkg.Info.Selections[sel]
-		if s == nil || s.Kind() != types.MethodVal {
+		if s == nil {
+			// Not a method value: a qualified identifier (pkg.Func) lands
+			// here. Check the package-level forbidden set.
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if !stepForbiddenFuncs[path][sel.Sel.Name] || p.Annotated("stepsafe", call) {
+				return true
+			}
+			p.Reportf(call.Pos(), "%s.%s called inside %s.Step: barrier-only tree maintenance — trees are shared read-only while workers step, so patching or rebuilding belongs in the engine's sequential recovery phase (annotate //aspen:stepsafe only with an audit trail)", path, sel.Sel.Name, recvTypeName(p, fd))
+			return true
+		}
+		if s.Kind() != types.MethodVal {
 			return true
 		}
 		for pkgPath, typeSet := range stepForbidden {

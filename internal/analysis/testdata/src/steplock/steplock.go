@@ -46,6 +46,12 @@ func (b *badStepper) Step(cycle int) {
 		b.live.Revive(topology.NodeID(0)) // want `topology.Liveness.Revive called inside badStepper.Step`
 	}()
 
+	// Package-level tree maintenance is barrier-only too.
+	routing.PatchTreeLive(nil, nil, nil, nil, nil) // want `routing.PatchTreeLive called inside badStepper.Step`
+	routing.RebuildTreeLive(nil, nil, 0, nil, nil) // want `routing.RebuildTreeLive called inside badStepper.Step`
+	routing.BuildTree(nil, 0, nil)                 // no-liveness build is not in the forbidden set
+	routing.RebuildTreeLive(nil, nil, 0, nil, nil) //aspen:stepsafe fixture-only audit trail
+
 	// Audited exception, recorded with the hatch.
 	b.ring.ObserveFailures(b.live) //aspen:stepsafe fixture-only audit trail
 }

@@ -1,0 +1,76 @@
+// Package arena provides byte-accounted slab allocation for the engine's
+// per-query and per-layer dense state: many same-lifetime dense slices are
+// carved out of single backing allocations, and every carve is charged to
+// a named arena with an explicit byte budget. The arenas do not own
+// deallocation (slabs die with their owner, as Go slices do); what they
+// add at 100k-node scale is (1) one backing allocation where a layer used
+// to make dozens, and (2) a live answer to "how many bytes does this layer
+// hold", surfaced through the engine's mem.* observability gauges and
+// checked against per-layer budgets by the bench heap gate.
+package arena
+
+import "unsafe"
+
+// Arena is one named byte account with an optional budget. It is not
+// goroutine-safe; each layer owns its arena and allocates from its own
+// sequential phases.
+type Arena struct {
+	name   string
+	bytes  int64
+	budget int64
+}
+
+// New returns an empty arena named for the layer it accounts.
+func New(name string) *Arena { return &Arena{name: name} }
+
+// Name returns the layer name the arena was created with.
+func (a *Arena) Name() string { return a.name }
+
+// Bytes returns the bytes carved from the arena so far.
+func (a *Arena) Bytes() int64 { return a.bytes }
+
+// SetBudget sets the arena's byte budget; zero means unbudgeted.
+func (a *Arena) SetBudget(n int64) { a.budget = n }
+
+// Budget returns the configured byte budget (zero when unbudgeted).
+func (a *Arena) Budget() int64 { return a.budget }
+
+// OverBudget reports whether the carved bytes exceed a non-zero budget.
+// The budget is observational — allocation never fails — so layers stay
+// deterministic while the gauges and the bench heap gate expose overruns.
+func (a *Arena) OverBudget() bool { return a.budget > 0 && a.bytes > a.budget }
+
+// Grow accounts n extra bytes allocated outside the typed helpers (spill
+// slices, map growth estimates). Negative n is ignored.
+func (a *Arena) Grow(n int64) {
+	if n > 0 {
+		a.bytes += n
+	}
+}
+
+// Slice allocates one dense length-n []T charged to the arena.
+func Slice[T any](a *Arena, n int) []T {
+	var z T
+	a.bytes += int64(n) * int64(unsafe.Sizeof(z))
+	return make([]T, n)
+}
+
+// Carve allocates one slab holding sum(counts) T values and cuts it into
+// len(counts) independent slices, each capacity-clamped so appends past a
+// cut spill to the heap instead of clobbering a neighbour.
+func Carve[T any](a *Arena, counts ...int) [][]T {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	var z T
+	a.bytes += int64(total) * int64(unsafe.Sizeof(z))
+	slab := make([]T, total)
+	out := make([][]T, len(counts))
+	off := 0
+	for i, c := range counts {
+		out[i] = slab[off : off+c : off+c]
+		off += c
+	}
+	return out
+}

@@ -46,6 +46,16 @@ type Scenario struct {
 	// (result counts, row sums); the checksum lets Compare detect
 	// semantic drift between runs recorded on different commits.
 	Run func() (traffic int64, check float64)
+	// RunHeap, when non-nil, replaces Run for scenarios that also commit
+	// to a live-heap bound: the third return is the post-GC live heap in
+	// bytes measured inside the scenario while its state is still
+	// referenced. Heap is machine-stable but not bit-stable, so it is
+	// recorded beside the checksum, never folded into it.
+	RunHeap func() (traffic int64, check float64, heapBytes int64)
+	// HeapCeiling is the committed live-heap bound in bytes for RunHeap
+	// scenarios (0 = unbounded). aspen-bench -max-heap-bytes fails the
+	// run when a measured heap exceeds its scenario's ceiling.
+	HeapCeiling int64
 }
 
 // engineSQL is the fixed query pool the engine scenarios draw from
@@ -126,6 +136,129 @@ func engine1kScenario(pin, workers int, tr *obs.Tracer) Scenario {
 	}
 }
 
+// Committed live-heap ceilings (bytes) for the RunHeap scenarios: the
+// measured post-GC live heap at the recording commit plus roughly 50%
+// headroom (see DESIGN.md, "Scale model"). A run drifting past its
+// ceiling fails the `aspen-bench -max-heap-bytes` gate.
+const (
+	churn10kHeapCeiling   = 32 << 20  // measured ~19 MB live
+	engine100kHeapCeiling = 192 << 20 // measured ~107 MB live
+)
+
+// engine100kScenario is the deployment-scale ceiling: one bounded 4-pair
+// query (built directly over the deployment — SQL placement would scan
+// the full node set) on a 100000-node Dense Random deployment, 5 epochs.
+// The live heap is measured post-GC while the engine is still referenced
+// and gated against the committed ceiling.
+func engine100kScenario(workers int, tr *obs.Tracer) Scenario {
+	return Scenario{
+		Name:        "engine-100k",
+		Desc:        "1 bounded 4-pair query over one shared 100000-node Dense Random deployment, 5 epochs, gated live-heap ceiling",
+		Workers:     workers,
+		HeapCeiling: engine100kHeapCeiling,
+		RunHeap: func() (int64, float64, int64) {
+			e := engine.New(engine.Options{Seed: 1, Kind: topology.DenseRandom, Nodes: 100000,
+				Trees: 1, Workers: workers, Trace: tr,
+				MemBudgetRoutingBytes: engine100kHeapCeiling / 2,
+				MemBudgetJoinBytes:    engine100kHeapCeiling / 8})
+			rates := workload.Rates{SigmaS: 0.5, SigmaT: 0.5, SigmaST: 0.1}
+			spec := workload.Query0(e.Topo, e.Nodes, 4, rates, 17)
+			if _, err := e.Submit(engine.QueryConfig{ID: "q0", Spec: spec}); err != nil {
+				panic("bench: engine-100k scenario submit: " + err.Error())
+			}
+			rep := e.Run(5)
+			runtime.GC()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			heap := int64(m.HeapAlloc)
+			runtime.KeepAlive(e)
+			return rep.AggregateBytes, float64(rep.Results), heap
+		},
+	}
+}
+
+// churn10kScenario exercises incremental tree maintenance at deployment
+// scale: a 10k-node routing substrate under 8 rounds of interior-node
+// failure, each round killing the alive non-root node owning the largest
+// tree-0 subtree that fits the patch budget, so every round cuts a real
+// subtree and must be repairable by routing.PatchTreeLive. The checksum
+// folds the patched/rebuilt split and a tree-shape fingerprint, so a
+// round silently degrading to a full rebuild shows as drift.
+func churn10kScenario() Scenario {
+	return Scenario{
+		Name:        "churn-10k",
+		Desc:        "10000-node routing substrate (2 trees + Bloom/Histogram index columns) under 8 interior-node failures repaired by incremental subtree patching",
+		HeapCeiling: churn10kHeapCeiling,
+		RunHeap: func() (int64, float64, int64) {
+			const n = 10000
+			topo := topology.Generate(topology.DenseRandom, n, 1)
+			live := topology.NewLiveness(n)
+			vals := make([]int32, n)
+			for i := range vals {
+				vals[i] = int32(i % 37)
+			}
+			specs := []routing.IndexSpec{
+				{Attr: "id", Kind: routing.BloomSummary, Values: vals},
+				{Attr: "band", Kind: routing.HistogramSummary, Values: vals, Lo: 0, Hi: 37},
+			}
+			net := sim.NewSharedNetwork(topo, 0.05, 7, live)
+			sub := routing.NewSubstrate(topo, routing.Options{NumTrees: 2, Indexes: specs, IndexPositions: true}, net)
+			roots := map[topology.NodeID]bool{}
+			for _, t := range sub.Trees {
+				roots[t.Root] = true
+			}
+			size := make([]int, n)
+			for round := 0; round < 8; round++ {
+				tree := sub.Trees[0]
+				// Subtree sizes in one pass: DeepFirst orders children
+				// before parents, so each node's total is complete before
+				// it is folded into its parent's.
+				for i := range size {
+					size[i] = 1
+				}
+				for _, v := range tree.DeepFirst() {
+					if p := tree.Parent[v]; p >= 0 && v != tree.Root {
+						size[p] += size[v]
+					}
+				}
+				victim := topology.NodeID(-1)
+				best := 0
+				for i := 1; i < n; i++ {
+					id := topology.NodeID(i)
+					if roots[id] || !live.Alive(id) || tree.Stale(id) || len(tree.Children[id]) == 0 {
+						continue
+					}
+					if size[id] > best && size[id] <= 128 {
+						victim, best = id, size[id]
+					}
+				}
+				if victim < 0 {
+					panic("bench: churn-10k found no interior victim")
+				}
+				live.Fail(victim)
+				sub.RepairTrees(net, live, []topology.NodeID{victim})
+			}
+			st := sub.Stats()
+			if st.Patched == 0 {
+				panic("bench: churn-10k never exercised the incremental patch path")
+			}
+			fp := 0
+			for _, t := range sub.Trees {
+				for i := range t.Parent {
+					fp += int(t.Parent[i]) + t.Depth[i]
+				}
+			}
+			check := float64(fp) + 1e9*float64(st.Patched) + 1e12*float64(st.Rebuilt)
+			runtime.GC()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			heap := int64(m.HeapAlloc)
+			runtime.KeepAlive(sub)
+			return net.Metrics().TotalBytes, check, heap
+		},
+	}
+}
+
 func plural(n int) string {
 	if n == 1 {
 		return "y"
@@ -182,6 +315,8 @@ func scenariosWith(override int, tr *obs.Tracer) []Scenario {
 		engineScenario(256, 0, w, tr),
 		engine1kScenario(0, w, tr),
 		engine1kScenario(4, 0, tr),
+		engine100kScenario(w, tr),
+		churn10kScenario(),
 		{
 			Name: "topo-2k",
 			Desc: "2000-node Moderate Random topology construction + base routing tree (grid-bucketed neighbor discovery)",
@@ -538,6 +673,13 @@ type Result struct {
 	// Checksum is the scenario's deterministic output fingerprint; a
 	// change between two reports means behavior drifted, not just speed.
 	Checksum float64 `json:"checksum"`
+	// HeapBytes is the post-GC live heap measured inside the scenario
+	// (RunHeap scenarios only; omitted otherwise). Machine-stable but not
+	// bit-stable, so it never participates in checksum drift detection.
+	HeapBytes int64 `json:"heap_bytes,omitempty"`
+	// HeapCeilingBytes is the scenario's committed live-heap bound; the
+	// aspen-bench -max-heap-bytes gate fails when HeapBytes exceeds it.
+	HeapCeilingBytes int64 `json:"heap_ceiling_bytes,omitempty"`
 }
 
 // Report is the BENCH_engine.json document.
@@ -603,9 +745,14 @@ func measure(s Scenario, opts Options) Result {
 	if opts.Trace != nil {
 		spanName = "bench:" + s.Name
 	}
+	var heap int64
 	for iters < minIters || time.Since(start) < opts.MinTime {
 		t0 := time.Now()
-		traffic, check = s.Run()
+		if s.RunHeap != nil {
+			traffic, check, heap = s.RunHeap()
+		} else {
+			traffic, check = s.Run()
+		}
 		if spanName != "" {
 			lane.Span(spanName, -1, "", t0)
 		}
@@ -627,6 +774,8 @@ func measure(s Scenario, opts Options) Result {
 		BytesPerOp:        int64(m1.TotalAlloc-m0.TotalAlloc) / int64(iters),
 		TrafficBytesPerOp: traffic,
 		Checksum:          check,
+		HeapBytes:         heap,
+		HeapCeilingBytes:  s.HeapCeiling,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		r.SimBytesPerWallSecond = float64(traffic) * float64(iters) / sec

@@ -14,15 +14,21 @@ func TestScenarioRegistry(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, s := range ss {
-		if s.Name == "" || s.Desc == "" || s.Run == nil {
+		if s.Name == "" || s.Desc == "" || (s.Run == nil && s.RunHeap == nil) {
 			t.Fatalf("scenario %+v incomplete", s.Name)
+		}
+		if s.Run != nil && s.RunHeap != nil {
+			t.Fatalf("scenario %q declares both Run and RunHeap", s.Name)
+		}
+		if s.HeapCeiling > 0 && s.RunHeap == nil {
+			t.Fatalf("scenario %q commits a heap ceiling without measuring heap", s.Name)
 		}
 		if seen[s.Name] {
 			t.Fatalf("duplicate scenario name %q", s.Name)
 		}
 		seen[s.Name] = true
 	}
-	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-16-w4", "engine-64", "engine-256", "engine-1k", "engine-1k-w4", "topo-2k", "churn-1k", "repair", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
+	for _, want := range []string{"engine-1", "engine-4", "engine-16", "engine-16-w4", "engine-64", "engine-256", "engine-1k", "engine-1k-w4", "engine-100k", "churn-10k", "topo-2k", "churn-1k", "repair", "sweep", "innet-vs-base", "adaptivity", "transfer"} {
 		if !seen[want] {
 			t.Errorf("scenario %q missing from registry", want)
 		}

@@ -155,6 +155,13 @@ type Options struct {
 	// order at the epoch barrier. Admission, churn and recovery stay
 	// sequential: they mutate shared state.
 	Workers int
+	// MemBudgetJoinBytes / MemBudgetRoutingBytes are observational
+	// per-layer byte budgets for arena-accounted dense state (zero means
+	// unbudgeted). Budgets never gate allocation — runs stay byte-identical
+	// with or without them — they are published through the mem.*.budget
+	// gauges so dashboards and the bench heap gate can flag overruns.
+	MemBudgetJoinBytes    int64
+	MemBudgetRoutingBytes int64
 	// Obs, when non-nil, collects engine metrics (see internal/obs and
 	// DESIGN.md's "Observability model"): lifecycle counters, churn
 	// recovery tallies, per-class byte gauges sampled at the epoch
@@ -949,6 +956,11 @@ type Report struct {
 	// (in-network reroutes vs pairs switched to the base station) and
 	// TreesRebuilt the substrate's tree-rebuild fallbacks.
 	FailedNodes, PathsRepaired, BaseFallbacks, TreesRebuilt int
+	// TreesPatched counts the subset of TreesRebuilt the substrate served
+	// by incremental subtree patching (routing.PatchTreeLive) instead of a
+	// full rebuild. Patched repairs charge byte-identical traffic, so this
+	// split is a cost diagnostic, not an output difference.
+	TreesPatched int
 	// Migrations / MigrationsAborted total the adaptivity phase's window
 	// migrations over the run: committed moves and moves abandoned at the
 	// commit point because the target died or the transfer path was
@@ -978,6 +990,7 @@ func (e *Engine) Report() *Report {
 		PathsRepaired:     e.totalRepaired,
 		BaseFallbacks:     e.totalFallbacks,
 		TreesRebuilt:      e.totalRebuilds,
+		TreesPatched:      e.Sub.Stats().Patched,
 		Migrations:        e.totalMigrations,
 		MigrationsAborted: e.totalAborted,
 		LinkRerouted:      e.totalLinkRerouted,

@@ -60,6 +60,10 @@ type instruments struct {
 	repaired  obs.Counter
 	fallbacks obs.Counter
 	rebuilds  obs.Counter
+	patched   obs.Counter
+	// lastPatched is the substrate's cumulative patched-tree count at the
+	// previous churn observation; observeChurn publishes the delta.
+	lastPatched int
 
 	migrations obs.Counter
 	migAborted obs.Counter
@@ -77,6 +81,11 @@ type instruments struct {
 	kindBytes   [3]obs.Gauge
 	drops       obs.Gauge
 	retransmits obs.Gauge
+
+	memJoin          obs.Gauge
+	memRouting       obs.Gauge
+	memJoinBudget    obs.Gauge
+	memRoutingBudget obs.Gauge
 
 	joinTuples   obs.Gauge
 	joinPerQuery obs.Histogram
@@ -105,6 +114,7 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 		repaired:  reg.Counter("churn.paths_repaired"),
 		fallbacks: reg.Counter("churn.base_fallbacks"),
 		rebuilds:  reg.Counter("churn.trees_rebuilt"),
+		patched:   reg.Counter("churn.trees_patched"),
 
 		migrations: reg.Counter("adapt.migrations"),
 		migAborted: reg.Counter("adapt.migrations_aborted"),
@@ -121,6 +131,11 @@ func newInstruments(reg *obs.Registry, workers int) *instruments {
 		queryBytes:  reg.Gauge("sim.query.bytes"),
 		drops:       reg.Gauge("sim.drops"),
 		retransmits: reg.Gauge("sim.retransmissions"),
+
+		memJoin:          reg.Gauge("mem.join.bytes"),
+		memRouting:       reg.Gauge("mem.routing.bytes"),
+		memJoinBudget:    reg.Gauge("mem.join.budget_bytes"),
+		memRoutingBudget: reg.Gauge("mem.routing.budget_bytes"),
 
 		joinTuples:   reg.Gauge("join.state.tuples"),
 		joinPerQuery: reg.Histogram("join.state.tuples_per_query", obs.SizeBounds()),
@@ -253,7 +268,7 @@ func (e *Engine) observeEpoch(live, admitted, retired, results, lost int) {
 		in.kindBytes[k].Set(kind[k])
 	}
 
-	var tuples int64
+	var tuples, joinMem int64
 	for _, q := range e.stepList {
 		if q.stepper == nil {
 			continue // retired at this epoch's barrier
@@ -263,8 +278,18 @@ func (e *Engine) observeEpoch(live, admitted, retired, results, lost int) {
 			tuples += n
 			in.joinPerQuery.Observe(n)
 		}
+		if mr, ok := q.stepper.(join.MemReporter); ok {
+			joinMem += mr.MemBytes()
+		}
 	}
 	in.joinTuples.Set(tuples)
+
+	// Arena accounting: bytes held by each layer's slab-backed dense
+	// state, next to the layer's configured (observational) budget.
+	in.memJoin.Set(joinMem)
+	in.memRouting.Set(e.Sub.MemBytes())
+	in.memJoinBudget.Set(e.opts.MemBudgetJoinBytes)
+	in.memRoutingBudget.Set(e.opts.MemBudgetRoutingBytes)
 }
 
 // observeAdapt folds one epoch's adaptivity outcome into the counters.
@@ -299,6 +324,10 @@ func (e *Engine) observeChurn(failed, repaired, fallbacks, rebuilds int) {
 	in.repaired.Add(int64(repaired))
 	in.fallbacks.Add(int64(fallbacks))
 	in.rebuilds.Add(int64(rebuilds))
+	if p := e.Sub.Stats().Patched; p > in.lastPatched {
+		in.patched.Add(int64(p - in.lastPatched))
+		in.lastPatched = p
+	}
 }
 
 // Snapshot returns a point-in-time copy of every registered instrument

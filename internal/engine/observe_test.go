@@ -82,6 +82,14 @@ func TestObsCountersMatchReport(t *testing.T) {
 	if v, _ := snap.Value("join.state.tuples"); v < 0 {
 		t.Errorf("join.state.tuples = %d", v)
 	}
+	// Arena gauges: the routing substrate always holds slab-backed state,
+	// and the innet/base steppers report their carved join-layer bytes.
+	if v, ok := snap.Value("mem.routing.bytes"); !ok || v <= 0 {
+		t.Errorf("mem.routing.bytes = %d (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := snap.Value("mem.join.bytes"); !ok || v <= 0 {
+		t.Errorf("mem.join.bytes = %d (ok=%v), want > 0", v, ok)
+	}
 	// Per-class byte gauges partition the total byte gauges.
 	var byKind int64
 	for _, k := range []string{"control", "data", "result"} {

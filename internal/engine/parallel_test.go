@@ -203,3 +203,66 @@ func TestOnEpochHookMidRun(t *testing.T) {
 		t.Fatalf("late-registered hook sees different epochs:\nfull[8:] = %+v\nlate     = %+v", full[8:], late)
 	}
 }
+
+// patchChurnWorkload builds a churn schedule of interior tree-0 victims —
+// alive non-root nodes with children and a small subtree — so the
+// substrate's incremental patch path (routing.PatchTreeLive) fires instead
+// of a full rebuild. Shared by the worker-determinism property below.
+func patchChurnWorkload(t *testing.T, e *Engine) []ChurnEvent {
+	t.Helper()
+	tree := e.Sub.Trees[0]
+	roots := make(map[topology.NodeID]bool)
+	for _, tr := range e.Sub.Trees {
+		roots[tr.Root] = true
+	}
+	var churn []ChurnEvent
+	epoch := 3
+	for id := 0; id < e.Topo.N() && len(churn) < 3; id++ {
+		v := topology.NodeID(id)
+		if roots[v] || len(tree.Children[v]) == 0 {
+			continue
+		}
+		if sub := tree.Subtree(v); len(sub) < 2 || len(sub) > 40 {
+			continue
+		}
+		churn = append(churn, ChurnEvent{Epoch: epoch, Node: v})
+		epoch += 2
+	}
+	if len(churn) == 0 {
+		t.Fatal("probe found no interior patch victims")
+	}
+	return churn
+}
+
+// TestWorkersPatchChurnByteIdentical: interior-node failures served by the
+// incremental patch path must leave the report byte-identical across
+// worker counts, and the patch path must actually have fired
+// (TreesPatched > 0) — otherwise the property is vacuous.
+func TestWorkersPatchChurnByteIdentical(t *testing.T) {
+	const nodes = 300
+	mk := func(workers int, churn []ChurnEvent) *Engine {
+		e := New(Options{Seed: 11, Kind: topology.ModerateRandom, Nodes: nodes, Workers: workers, Churn: churn})
+		for i, src := range []string{q1SQL(t), q2SQL(t)} {
+			if _, err := e.Submit(QueryConfig{ID: []string{"a", "b"}[i], SQL: src}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	churn := patchChurnWorkload(t, mk(1, nil))
+	base := mk(1, churn).Run(12)
+	if base.TreesPatched == 0 {
+		t.Fatalf("no incremental patches fired: %+v", base)
+	}
+	if base.TreesPatched > base.TreesRebuilt {
+		t.Fatalf("patched %d exceeds total repairs %d", base.TreesPatched, base.TreesRebuilt)
+	}
+	for _, w := range []int{4} {
+		rep := mk(w, churn).Run(12)
+		if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("workers=%d patch-churn report differs from sequential:\npatched=%d/%d rebuilt=%d/%d shared=%d/%d",
+				w, rep.TreesPatched, base.TreesPatched, rep.TreesRebuilt, base.TreesRebuilt,
+				rep.SharedBytes, base.SharedBytes)
+		}
+	}
+}

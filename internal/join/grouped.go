@@ -1,6 +1,7 @@
 package join
 
 import (
+	"repro/internal/arena"
 	"repro/internal/query"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -33,13 +34,15 @@ func (Naive) Start(cfg *Config) Stepper {
 	// No initiation (beyond initial routing-tree construction, which is
 	// shared by every algorithm and excluded per Table 3).
 	snapshotInit(cfg, res)
+	mem := arena.New("join")
 	return &baseStepper{
 		cfg:       cfg,
 		res:       res,
 		rec:       newRecorder(res),
 		st:        baseState(cfg),
 		producers: eligibleProducers(cfg.Spec, cfg.Topo.N()),
-		done:      make([]bool, cfg.Topo.N()),
+		mem:       mem,
+		done:      arena.Slice[bool](mem, cfg.Topo.N()),
 	}
 }
 
@@ -52,12 +55,18 @@ type baseStepper struct {
 	st        *window.State
 	producers []producerSlot
 	filter    *participantFilter
+	// mem accounts the stepper's dense per-node state for the engine's
+	// per-layer budget gauges.
+	mem *arena.Arena
 	// done and matchBuf are per-cycle scratch (dual-role dedup marks and
 	// the reusable Arrive buffer) so Step calls never allocate; done is
 	// sized at Start and cleared after every cycle.
 	done     []bool
 	matchBuf []window.Match
 }
+
+// MemBytes implements MemReporter.
+func (b *baseStepper) MemBytes() int64 { return b.mem.Bytes() }
 
 // Step implements Stepper.
 //
@@ -154,6 +163,7 @@ func (Base) Start(cfg *Config) Stepper {
 	}
 	snapshotInit(cfg, res)
 	// Computation: only producers participating in at least one pair send.
+	mem := arena.New("join")
 	return &baseStepper{
 		cfg:       cfg,
 		res:       res,
@@ -161,7 +171,8 @@ func (Base) Start(cfg *Config) Stepper {
 		st:        st,
 		producers: producers,
 		filter:    participantSet(cfg.Spec, cfg.Topo.N()),
-		done:      make([]bool, cfg.Topo.N()),
+		mem:       mem,
+		done:      arena.Slice[bool](mem, cfg.Topo.N()),
 	}
 }
 
@@ -220,12 +231,14 @@ func (Yang07) Run(cfg *Config) *Result { return runSteps(cfg, Yang07{}.Start(cfg
 // Start implements Continuous.
 func (Yang07) Start(cfg *Config) Stepper {
 	res := &Result{Algorithm: "Yang+07"}
+	mem := arena.New("join")
 	y := &yangStepper{
 		cfg:         cfg,
 		res:         res,
 		rec:         newRecorder(res),
-		states:      make([]*window.State, cfg.Topo.N()),
-		partnersOfS: make([][]topology.NodeID, cfg.Topo.N()),
+		mem:         mem,
+		states:      arena.Slice[*window.State](mem, cfg.Topo.N()),
+		partnersOfS: arena.Slice[[]topology.NodeID](mem, cfg.Topo.N()),
 	}
 	// Per-target local join state.
 	for _, g := range cfg.Spec.Groups() {
@@ -253,11 +266,15 @@ type yangStepper struct {
 	// states[t] is target t's local join state; partnersOfS[s] lists s's
 	// matching targets. Dense NodeID-indexed slices (nil/empty when the
 	// node plays no part).
+	mem         *arena.Arena
 	states      []*window.State
 	partnersOfS [][]topology.NodeID
 	matchBuf    []window.Match // reusable Arrive buffer
 	downBuf     routing.Path   // reusable reversed-path scratch
 }
+
+// MemBytes implements MemReporter.
+func (y *yangStepper) MemBytes() int64 { return y.mem.Bytes() }
 
 // Step implements Stepper.
 //

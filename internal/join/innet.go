@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/adapt"
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/mpo"
@@ -131,10 +132,14 @@ type producerState struct {
 // thousands of nodes the per-cycle map hashing dominated the hot path, and
 // NodeIDs are already a compact [0, n) key space.
 type engine struct {
-	cfg   *Config
-	opts  InnetOptions
-	res   *Result
-	rec   *recorder
+	cfg  *Config
+	opts InnetOptions
+	res  *Result
+	rec  *recorder
+	// mem accounts the query's dense per-node state: the NodeID-indexed
+	// slices below are carved from it in one slab per element type, and
+	// MemBytes answers the engine's per-layer budget gauges.
+	mem   *arena.Arena
 	pairs []*pairState
 	// pairsOfS[s] lists the pairs whose source endpoint is s; a (s,t)
 	// match resolves to its pairState by scanning this (short) bucket.
@@ -172,18 +177,22 @@ func (in Innet) Run(cfg *Config) *Result { return runSteps(cfg, in.Start(cfg)) }
 // cycle-steppable execution.
 func (in Innet) Start(cfg *Config) Stepper {
 	n := cfg.Topo.N()
+	mem := arena.New("join")
+	marks := arena.Carve[bool](mem, n, n, n)
+	prods := arena.Carve[*producerState](mem, n, n)
 	e := &engine{
 		cfg:        cfg,
 		opts:       in.Opts,
 		res:        &Result{Algorithm: in.Name()},
-		pairsOfS:   make([][]*pairState, n),
-		prodS:      make([]*producerState, n),
-		prodT:      make([]*producerState, n),
-		states:     make([]*window.State, n),
-		matchCount: make([]int, n),
-		reached:    make([]bool, n),
-		isJoin:     make([]bool, n),
-		delivered:  make([]bool, n),
+		mem:        mem,
+		pairsOfS:   arena.Slice[[]*pairState](mem, n),
+		prodS:      prods[0],
+		prodT:      prods[1],
+		states:     arena.Slice[*window.State](mem, n),
+		matchCount: arena.Slice[int](mem, n),
+		reached:    marks[0],
+		isJoin:     marks[1],
+		delivered:  marks[2],
 	}
 	e.rec = newRecorder(e.res)
 	e.initiate()
@@ -210,6 +219,10 @@ func (e *engine) Results() int { return e.res.Results }
 
 // ResultsLost reports results dropped in flight to the base station.
 func (e *engine) ResultsLost() int { return e.res.ResultsLost }
+
+// MemBytes implements MemReporter: the arena-accounted dense per-node
+// state this query holds.
+func (e *engine) MemBytes() int64 { return e.mem.Bytes() }
 
 // JoinStateTuples implements StateSized: the tuples buffered across every
 // join node's window state.

@@ -189,6 +189,14 @@ type LinkFaultRecoverer interface {
 	HandleLinkFaults(rp *routing.Repairer) (rerouted, fallbacks int)
 }
 
+// MemReporter is implemented by steppers that account their dense
+// per-node state on arena slabs. The engine sums the reports into its
+// per-layer mem.join.bytes gauge and checks them against the configured
+// byte budget at each epoch barrier.
+type MemReporter interface {
+	MemBytes() int64
+}
+
 // Adaptive is implemented by steppers whose join-node placement can be
 // re-optimized by an external scheduler — section 6's adaptivity run at
 // deployment scope by internal/engine. AdaptEpoch closes the given sampling

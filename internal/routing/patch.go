@@ -1,0 +1,566 @@
+package routing
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Incremental tree maintenance (the deployment-scale complement to section
+// 7's path repair): when nodes fail, only the orphaned region — the union of
+// the failed nodes' old subtrees — can change. Everything outside keeps its
+// parent, depth, root path and deepest-first position byte-for-byte, which
+// is provable from the BFS tie-breaking discipline: BFSLive dequeues each
+// depth level in lexicographic root-path order, so a node's parent is its
+// lexicographically-least alive neighbour one level up; under failures every
+// candidate's key only worsens, so the argmin never switches toward a node
+// whose subtree did not lose its anchor. PatchTreeLive exploits this to
+// re-derive just the orphaned region with a level-synchronous local frontier
+// and splice the result into the tree in place, falling back to a full
+// RebuildTreeLive when the region exceeds its budget or an assumption (live
+// root, no revivals) fails.
+
+// Per-node planning states during a patch.
+const (
+	psOut     uint8 = iota // outside the orphaned region
+	psWait                 // alive region node, not yet settled
+	psSettled              // alive region node with final new parent + depth
+	psDead                 // dead region node, depth not yet finalized
+	psCut                  // region node left unreachable; depth finalized along its stale chain
+)
+
+// PatchScratch holds the reusable planning state for PatchTreeLive so
+// repeated repairs allocate nothing beyond each tree's replacement path
+// slab. One scratch serves any number of trees of the same deployment;
+// Substrate owns one and reuses it across every repair epoch.
+type PatchScratch struct {
+	n        int
+	state    []uint8
+	dist     []int             // new depth per region node (-1 until known)
+	par      []topology.NodeID // working parent per region node
+	planPath []Path            // materialized new root path per settled node
+	pathBuf  []topology.NodeID // stable slab the plan paths are carved from
+	mOld     []bool            // summary-dirty via an old ancestor chain
+	mNew     []bool            // summary-dirty via a new ancestor chain
+
+	buckets   [][]topology.NodeID // level-indexed settle frontier
+	region    []topology.NodeID
+	seeds     []topology.NodeID
+	stack     []topology.NodeID
+	changed   []topology.NodeID
+	ins       []topology.NodeID // region nodes in (new depth desc, id asc) order
+	win       []topology.NodeID // deepest-first window being re-merged
+	dirtyList []topology.NodeID
+	byDepth   []topology.NodeID // region nodes in new-depth-ascending order
+}
+
+// NewPatchScratch returns an empty scratch; it sizes itself to the first
+// tree it patches.
+func NewPatchScratch() *PatchScratch { return &PatchScratch{} }
+
+func (s *PatchScratch) ensure(n int) {
+	if s.n >= n {
+		return
+	}
+	s.n = n
+	s.state = make([]uint8, n)
+	s.dist = make([]int, n)
+	s.par = make([]topology.NodeID, n)
+	s.planPath = make([]Path, n)
+	s.mOld = make([]bool, n)
+	s.mNew = make([]bool, n)
+	budget := n
+	if budget < 1024 {
+		budget = 1024
+	}
+	s.pathBuf = make([]topology.NodeID, 0, budget)
+}
+
+// cleanup restores the scratch to all-zero using the touched-node lists, so
+// the next patch starts clean without O(n) clearing.
+func (s *PatchScratch) cleanup() {
+	for _, v := range s.region {
+		s.state[v] = psOut
+		s.dist[v] = 0
+		s.par[v] = 0
+		s.planPath[v] = nil
+	}
+	for _, v := range s.dirtyList {
+		s.mOld[v] = false
+		s.mNew[v] = false
+	}
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	s.pathBuf = s.pathBuf[:0]
+	s.region = s.region[:0]
+	s.seeds = s.seeds[:0]
+	s.stack = s.stack[:0]
+	s.changed = s.changed[:0]
+	s.ins = s.ins[:0]
+	s.win = s.win[:0]
+	s.byDepth = s.byDepth[:0]
+	// dirtyList is the caller-visible result; leave its contents readable
+	// until the next call truncates it.
+	s.dirtyList = s.dirtyList[:0]
+}
+
+func (s *PatchScratch) push(level int, v topology.NodeID) {
+	for len(s.buckets) <= level {
+		s.buckets = append(s.buckets, nil)
+	}
+	s.buckets[level] = append(s.buckets[level], v)
+}
+
+// PatchResult reports what an in-place repair touched.
+type PatchResult struct {
+	Seeds   int // dead anchors the orphaned region grew from
+	Region  int // nodes in the orphaned region
+	Changed int // nodes whose parent edge moved
+	// Dirty lists the nodes whose subtree summaries must be recomputed, in
+	// (new depth descending, id ascending) order — the bottom-up order a
+	// column rebuild needs. The slice aliases the scratch and is valid
+	// until the next PatchTreeLive call with the same scratch.
+	Dirty []topology.NodeID
+}
+
+// PatchTreeLive repairs t in place around the currently-dead nodes,
+// producing exactly the tree RebuildTreeLive(topo, t, t.Root, net, live)
+// would build — same parents, depths, root paths, deepest-first order,
+// stale-chain semantics and charged beacons — while touching only the
+// orphaned region. It returns ok=false (and leaves t untouched, nothing
+// charged) when the incremental assumptions do not hold: the root is dead
+// (re-rooting changes every path), a recorded-stale node has been revived
+// (reachability is no longer monotone), or the orphaned region or its path
+// work exceeds the patch budget. Callers fall back to RebuildTreeLive.
+func PatchTreeLive(topo *topology.Topology, t *Tree, net *sim.Network, live *topology.Liveness, s *PatchScratch) (PatchResult, bool) {
+	n := topo.N()
+	if s == nil {
+		s = NewPatchScratch()
+	}
+	s.ensure(n)
+	if !live.Alive(t.Root) {
+		return PatchResult{}, false
+	}
+	// Revived nodes break the deletion-only monotonicity the region
+	// confinement proof needs; seeds are every currently-dead node the tree
+	// still believes reachable (leaf failures leave no other trace).
+	for i := 0; i < n; i++ {
+		id := topology.NodeID(i)
+		if t.staleSet[i] {
+			if live.Alive(id) {
+				s.cleanup()
+				return PatchResult{}, false
+			}
+		} else if !live.Alive(id) {
+			s.seeds = append(s.seeds, id)
+		}
+	}
+	maxRegion := n / 8
+	if maxRegion < 64 {
+		maxRegion = 64
+	}
+	// Orphaned region R: the old subtrees (stale children included) of
+	// every seed. Only R can change — see the package comment.
+	for _, sd := range s.seeds {
+		if s.state[sd] != psOut {
+			continue // nested under an earlier seed
+		}
+		s.stack = append(s.stack[:0], sd)
+		for len(s.stack) > 0 {
+			v := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			if s.state[v] != psOut {
+				continue
+			}
+			if live.Alive(v) {
+				s.state[v] = psWait
+			} else {
+				s.state[v] = psDead
+			}
+			s.dist[v] = -1
+			s.par[v] = t.Parent[v]
+			s.region = append(s.region, v)
+			if len(s.region) > maxRegion {
+				s.cleanup()
+				return PatchResult{}, false
+			}
+			s.stack = append(s.stack, t.Children[v]...)
+		}
+	}
+	if !s.settle(topo, t, live) {
+		s.cleanup()
+		return PatchResult{}, false
+	}
+	s.cutDepths(t)
+	s.planDirty(t)
+
+	// Plan complete — apply. From here on nothing can fail, so the tree is
+	// never left half-patched.
+	s.patchDeepFirst(t)
+	for _, v := range s.changed {
+		old := t.Parent[v]
+		t.Children[old] = removeChild(t.Children[old], v)
+	}
+	for _, v := range s.changed {
+		np := s.par[v]
+		t.Children[np] = insertChild(t.Children[np], v)
+		t.Parent[v] = np
+	}
+	for _, v := range s.region {
+		t.Depth[v] = s.dist[v]
+	}
+	s.patchPaths(t)
+	for _, v := range s.region {
+		t.staleSet[v] = s.state[v] != psSettled
+	}
+	if net != nil {
+		beacon := 2 * sim.ValueBytes // root id + depth, as assembleTree charges
+		for i := 0; i < n; i++ {
+			net.Broadcast(topology.NodeID(i), beacon, sim.Control)
+		}
+	}
+	res := PatchResult{
+		Seeds:   len(s.seeds),
+		Region:  len(s.region),
+		Changed: len(s.changed),
+		Dirty:   s.dirtyList,
+	}
+	// Sort the dirty set bottom-up over the NEW depths (applied above).
+	sort.Slice(res.Dirty, func(a, b int) bool {
+		da, db := t.Depth[res.Dirty[a]], t.Depth[res.Dirty[b]]
+		if da != db {
+			return da > db
+		}
+		return res.Dirty[a] < res.Dirty[b]
+	})
+	s.partialCleanup()
+	return res, true
+}
+
+// partialCleanup is cleanup minus truncating dirtyList contents readably —
+// identical effect, kept separate so a successful return documents that
+// res.Dirty stays valid until the next call.
+func (s *PatchScratch) partialCleanup() {
+	dirty := s.dirtyList
+	s.cleanup()
+	s.dirtyList = dirty[:0]
+}
+
+// settle runs the level-synchronous frontier over the alive region nodes,
+// assigning each its BFS depth and lexicographically-correct parent. It
+// reports false when the plan-path budget is exhausted.
+func (s *PatchScratch) settle(topo *topology.Topology, t *Tree, live *topology.Liveness) bool {
+	lo := -1
+	for _, v := range s.region {
+		if s.state[v] != psWait {
+			continue
+		}
+		for _, u := range topo.Neighbors(v) {
+			if s.state[u] != psOut || !live.Alive(u) || t.staleSet[u] {
+				continue
+			}
+			d := t.Depth[u] + 1
+			if s.dist[v] < 0 || d < s.dist[v] {
+				s.dist[v] = d
+				s.push(d, v)
+				if lo < 0 || d < lo {
+					lo = d
+				}
+			}
+		}
+	}
+	if lo < 0 {
+		return true // nothing settles; every alive region node is cut off
+	}
+	for lvl := lo; lvl < len(s.buckets); lvl++ {
+		for qi := 0; qi < len(s.buckets[lvl]); qi++ {
+			v := s.buckets[lvl][qi]
+			if s.state[v] != psWait || s.dist[v] != lvl {
+				continue
+			}
+			best := topology.NodeID(-1)
+			var bestPath Path
+			for _, u := range topo.Neighbors(v) {
+				if !live.Alive(u) {
+					continue
+				}
+				var up Path
+				if s.state[u] == psOut {
+					if t.staleSet[u] || t.Depth[u] != lvl-1 {
+						continue
+					}
+					up = t.rootPaths[u]
+				} else if s.state[u] == psSettled && s.dist[u] == lvl-1 {
+					up = s.planPath[u]
+				} else {
+					continue
+				}
+				if best < 0 || lexPathLess(up, bestPath) {
+					best, bestPath = u, up
+				}
+			}
+			if best < 0 {
+				continue // defensive; a queued node always has a candidate
+			}
+			if len(s.pathBuf)+lvl+1 > cap(s.pathBuf) {
+				return false // path-work budget exhausted
+			}
+			np := s.pathBuf[len(s.pathBuf) : len(s.pathBuf) : len(s.pathBuf)+lvl+1]
+			np = append(np, v)
+			np = append(np, bestPath...)
+			s.pathBuf = s.pathBuf[:len(s.pathBuf)+lvl+1]
+			s.planPath[v] = Path(np)
+			s.par[v] = best
+			s.state[v] = psSettled
+			if best != t.Parent[v] {
+				s.changed = append(s.changed, v)
+			}
+			for _, w := range topo.Neighbors(v) {
+				if s.state[w] == psWait && (s.dist[w] < 0 || s.dist[w] > lvl+1) {
+					s.dist[w] = lvl + 1
+					s.push(lvl+1, w)
+				}
+			}
+		}
+		s.buckets[lvl] = s.buckets[lvl][:0]
+	}
+	return true
+}
+
+// cutDepths finalizes the depths of region nodes left unreachable (dead
+// seeds and cut-off alive nodes): they keep their current parent edge, and
+// their depth is the chain length to the nearest depth-final anchor —
+// exactly the merged-depth semantics of RebuildTreeLive, iteratively.
+func (s *PatchScratch) cutDepths(t *Tree) {
+	for _, v := range s.region {
+		st := s.state[v]
+		if st == psSettled || st == psCut {
+			continue
+		}
+		s.stack = s.stack[:0]
+		id := v
+		for {
+			st := s.state[id]
+			if st != psWait && st != psDead {
+				break // depth-final: outside the region, settled, or already cut
+			}
+			s.stack = append(s.stack, id)
+			if s.par[id] < 0 {
+				id = -1
+				break
+			}
+			id = s.par[id]
+		}
+		d := -1
+		if id >= 0 {
+			if s.state[id] == psOut {
+				d = t.Depth[id]
+			} else {
+				d = s.dist[id]
+			}
+		}
+		for j := len(s.stack) - 1; j >= 0; j-- {
+			d++
+			w := s.stack[j]
+			s.dist[w] = d
+			s.state[w] = psCut
+		}
+	}
+}
+
+// planDirty marks every node whose subtree summary can change: the old and
+// new ancestor chains of each reparented node. Chains stop at an
+// already-marked node of the same kind, so total work is linear in the
+// marked set. Runs before any mutation: old chains walk t.Parent, new
+// chains walk the planned parent function.
+func (s *PatchScratch) planDirty(t *Tree) {
+	for _, v := range s.changed {
+		for u := t.Parent[v]; u >= 0 && !s.mOld[u]; u = t.Parent[u] {
+			if !s.mNew[u] {
+				s.dirtyList = append(s.dirtyList, u)
+			}
+			s.mOld[u] = true
+		}
+		for u := s.par[v]; u >= 0 && !s.mNew[u]; {
+			if !s.mOld[u] {
+				s.dirtyList = append(s.dirtyList, u)
+			}
+			s.mNew[u] = true
+			if s.state[u] != psOut {
+				u = s.par[u]
+			} else {
+				u = t.Parent[u]
+			}
+		}
+	}
+}
+
+// patchDeepFirst re-merges the region nodes into the deepest-first order in
+// place. Only the window between the earliest and latest affected key can
+// change; it is copied out once and merged back with the region's new keys.
+// Runs before depths are applied, so t.Depth still carries the old keys the
+// window search needs.
+func (s *PatchScratch) patchDeepFirst(t *Tree) {
+	if len(s.region) == 0 {
+		return
+	}
+	// Earliest (kd,ki) and latest key over every old and new position.
+	kdF, kiF := t.Depth[s.region[0]], s.region[0]
+	kdL, kiL := kdF, kiF
+	consider := func(d int, id topology.NodeID) {
+		if d > kdF || (d == kdF && id < kiF) {
+			kdF, kiF = d, id
+		}
+		if d < kdL || (d == kdL && id > kiL) {
+			kdL, kiL = d, id
+		}
+	}
+	for _, v := range s.region {
+		consider(t.Depth[v], v)
+		consider(s.dist[v], v)
+	}
+	lo := searchDeepFirst(t, kdF, kiF, false)
+	hi := searchDeepFirst(t, kdL, kiL, true)
+	s.win = append(s.win[:0], t.deepFirst[lo:hi]...)
+	s.ins = append(s.ins[:0], s.region...)
+	sort.Slice(s.ins, func(a, b int) bool {
+		da, db := s.dist[s.ins[a]], s.dist[s.ins[b]]
+		if da != db {
+			return da > db
+		}
+		return s.ins[a] < s.ins[b]
+	})
+	mergeDeepFirst(t.deepFirst[lo:hi], s.win, s.ins, t.Depth, s.dist, s.state)
+}
+
+// searchDeepFirst binary-searches the (depth desc, id asc) deepest-first
+// order: with after=false it returns the first index at or past key (kd,ki);
+// with after=true the first index strictly past it.
+//
+//aspen:allocfree
+func searchDeepFirst(t *Tree, kd int, ki topology.NodeID, after bool) int {
+	lo, hi := 0, len(t.deepFirst)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		id := t.deepFirst[mid]
+		d := t.Depth[id]
+		before := d > kd || (d == kd && (id < ki || (after && id == ki)))
+		if before {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// mergeDeepFirst writes the window back: surviving entries (win minus
+// region nodes, keyed by their unchanged old depths) merged with the region
+// nodes at their new keys.
+//
+//aspen:allocfree
+func mergeDeepFirst(dst, win, ins []topology.NodeID, oldDepth, newDepth []int, state []uint8) {
+	w := 0
+	i, j := 0, 0
+	for i < len(win) || j < len(ins) {
+		if i < len(win) && state[win[i]] != psOut {
+			i++ // a region node's old slot: it re-enters from ins
+			continue
+		}
+		takeWin := false
+		if j >= len(ins) {
+			takeWin = true
+		} else if i < len(win) {
+			a, b := win[i], ins[j]
+			da, db := oldDepth[a], newDepth[b]
+			takeWin = da > db || (da == db && a < b)
+		}
+		if takeWin {
+			dst[w] = win[i]
+			i++
+		} else {
+			dst[w] = ins[j]
+			j++
+		}
+		w++
+	}
+}
+
+// patchPaths carves replacement root paths for every region node from one
+// fresh slab, new-depth ascending so each node's parent path is already
+// final (a parent is always exactly one level up, settled or kept). Old
+// path bytes are never overwritten: readers holding a pre-repair Path keep
+// a consistent snapshot, exactly as a full rebuild leaves the old tree's
+// backing intact.
+func (s *PatchScratch) patchPaths(t *Tree) {
+	slabLen := 0
+	for _, v := range s.region {
+		slabLen += s.dist[v] + 1
+	}
+	slab := make([]topology.NodeID, 0, slabLen)
+	s.byDepth = append(s.byDepth[:0], s.region...)
+	sort.Slice(s.byDepth, func(a, b int) bool {
+		da, db := s.dist[s.byDepth[a]], s.dist[s.byDepth[b]]
+		if da != db {
+			return da < db
+		}
+		return s.byDepth[a] < s.byDepth[b]
+	})
+	for _, v := range s.byDepth {
+		start := len(slab)
+		slab = append(slab, v)
+		if p := t.Parent[v]; p >= 0 {
+			slab = append(slab, t.rootPaths[p]...)
+		}
+		t.rootPaths[v] = Path(slab[start:len(slab):len(slab)])
+	}
+}
+
+// lexPathLess compares two equal-length root paths in downpath
+// (root-to-node) lexicographic order — the BFS dequeue order within a depth
+// level, and therefore the parent tie-break order.
+//
+//aspen:allocfree
+func lexPathLess(a, b Path) bool {
+	for i := len(a) - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// removeChild deletes c from the sorted child list in place.
+//
+//aspen:allocfree
+func removeChild(cs []topology.NodeID, c topology.NodeID) []topology.NodeID {
+	i := childPos(cs, c)
+	copy(cs[i:], cs[i+1:])
+	return cs[:len(cs)-1]
+}
+
+// insertChild adds c to the sorted child list, spilling that one list onto
+// the heap only when its CSR carve is full.
+func insertChild(cs []topology.NodeID, c topology.NodeID) []topology.NodeID {
+	i := childPos(cs, c)
+	cs = append(cs, 0)
+	copy(cs[i+1:], cs[i:])
+	cs[i] = c
+	return cs
+}
+
+//aspen:allocfree
+func childPos(cs []topology.NodeID, c topology.NodeID) int {
+	lo, hi := 0, len(cs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cs[mid] < c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,85 @@
+package routing
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// RegionalIndex is the second level of the two-level regional substrate:
+// over the topology's 4x4 region grid it keeps each region's members in
+// (base-tree depth descending, id ascending) order — the exact priority
+// farthestAliveRoot scans for. Re-picking a root after a dead-root failure
+// then compares at most one cursor per region (each cursor skipping only
+// its region's dead prefix) instead of walking all n nodes: cross-region
+// repair never descends into intra-region structure. The ordering is
+// refreshed lazily when the base tree's generation moves, so steady-state
+// repairs pay nothing.
+type RegionalIndex struct {
+	grid *topology.RegionGrid
+	// order[r] holds region r's members, (base depth desc, id asc).
+	order [topology.NumRegions][]topology.NodeID
+	gen   uint64
+	built bool
+	base  *Tree
+}
+
+// NewRegionalIndex builds the region partition for topo; the per-region
+// depth ordering is filled by Refresh.
+func NewRegionalIndex(topo *topology.Topology) *RegionalIndex {
+	return &RegionalIndex{grid: topology.NewRegionGrid(topo)}
+}
+
+// Grid exposes the underlying region partition.
+func (ri *RegionalIndex) Grid() *topology.RegionGrid { return ri.grid }
+
+// Refresh re-sorts the per-region member lists against base's current
+// depths when gen has moved past the generation last sorted (or the base
+// tree was swapped by a full rebuild). Sorting is per-region, so the work
+// parallels the region sizes, and it only runs when churn actually changed
+// the base tree since the last dead-root repair.
+func (ri *RegionalIndex) Refresh(base *Tree, gen uint64) {
+	if ri.built && ri.gen == gen && ri.base == base {
+		return
+	}
+	for r := 0; r < topology.NumRegions; r++ {
+		m := ri.grid.Members(r)
+		ord := ri.order[r]
+		if cap(ord) < len(m) {
+			ord = make([]topology.NodeID, len(m))
+		}
+		ord = ord[:len(m)]
+		copy(ord, m)
+		sort.Slice(ord, func(a, b int) bool {
+			da, db := base.Depth[ord[a]], base.Depth[ord[b]]
+			if da != db {
+				return da > db
+			}
+			return ord[a] < ord[b]
+		})
+		ri.order[r] = ord
+	}
+	ri.gen = gen
+	ri.base = base
+	ri.built = true
+}
+
+// FarthestAliveRoot returns the alive node deepest in the base tree (ties
+// to the lowest node ID) — byte-identical to the O(n) reference scan — by
+// comparing each region's head: the first alive member in its depth order.
+func (ri *RegionalIndex) FarthestAliveRoot(live *topology.Liveness) topology.NodeID {
+	best, bestDepth := topology.NodeID(-1), -1
+	for r := 0; r < topology.NumRegions; r++ {
+		for _, id := range ri.order[r] {
+			if !live.Alive(id) {
+				continue
+			}
+			d := ri.base.Depth[id]
+			if d > bestDepth || (d == bestDepth && id < best) {
+				best, bestDepth = id, d
+			}
+			break
+		}
+	}
+	return best
+}

@@ -111,6 +111,61 @@ type Substrate struct {
 	// indexPos records whether positions are indexed with R-trees.
 	indexPos bool
 	pos      []geom.Point
+
+	// patch is the reusable planning scratch for in-place tree repair.
+	patch *PatchScratch
+	// regional is the two-level region index used to re-pick roots without
+	// an O(n) scan; built lazily on the first dead-root repair.
+	regional *RegionalIndex
+	// baseGen counts mutations of the base tree (tree 0), so the regional
+	// index knows when its depth ordering is out of date.
+	baseGen uint64
+	stats   RepairStats
+}
+
+// RepairStats accumulates what churn-time maintenance has done over the
+// substrate's lifetime — the observability counters behind the patched-vs-
+// rebuilt split and the region-size claim (repair cost tracks the orphaned
+// region, not the deployment).
+type RepairStats struct {
+	Patched        int // trees repaired in place by PatchTreeLive
+	Rebuilt        int // trees repaired by full RebuildTreeLive
+	RegionNodes    int // cumulative orphaned-region size across patches
+	ChangedParents int // cumulative reparented nodes across patches
+}
+
+// Stats returns the cumulative repair counters.
+func (s *Substrate) Stats() RepairStats { return s.stats }
+
+// MemBytes estimates the substrate's resident footprint: the per-tree
+// derived structures plus the columnar routing tables (summary payload
+// bytes plus a fixed per-object overhead for headers and size-class
+// slack). It feeds the engine's mem.routing.bytes gauge.
+func (s *Substrate) MemBytes() int64 {
+	var b int64
+	for _, t := range s.Trees {
+		b += t.MemBytes()
+	}
+	const objOverhead = 48
+	for _, cols := range s.cols {
+		for _, col := range cols {
+			b += int64(len(col)) * 16 // interface slots
+			for _, sm := range col {
+				if sm != nil {
+					b += int64(sm.SizeBytes()) + objOverhead
+				}
+			}
+		}
+	}
+	for _, regs := range s.regions {
+		b += int64(len(regs)) * 8
+		for _, r := range regs {
+			if r != nil {
+				b += int64(r.SizeBytes()) + objOverhead
+			}
+		}
+	}
+	return b
 }
 
 // Options configures substrate construction.
@@ -249,19 +304,25 @@ func (s *Substrate) chargeTableShip(ti int, tree *Tree, net *sim.Network) {
 	}
 }
 
-// RepairTrees is the tree-rebuild fallback the engine runs after node
+// RepairTrees is the tree-maintenance pass the engine runs after node
 // failures: every routing tree in which some failed node is INTERIOR (has
-// children — a failed leaf breaks no one's route) is rebuilt around the
-// failure with RebuildTreeLive, its summary columns recomputed bottom-up,
-// and the fresh beacons plus table dissemination charged to net (the
-// engine's shared stream; failed nodes transmit nothing). A tree whose
-// root died is re-rooted at the alive node deepest in the base tree (ties
-// to the lowest ID) — the same "far from the base" intent as construction.
-// Callers holding paths from the old trees (PathToBase results etc.)
+// children — a failed leaf breaks no one's route) is repaired around the
+// failure, its summary columns recomputed bottom-up, and the fresh beacons
+// plus table dissemination charged to net (the engine's shared stream;
+// failed nodes transmit nothing). Repair is incremental first: when the
+// root survives, PatchTreeLive re-parents only the orphaned region in
+// place and only the summaries along dirtied root paths are recomputed —
+// the charged traffic is identical to a full rebuild, the saved work is
+// CPU and allocation. When the patch declines (dead root, revival, region
+// over budget) the tree falls back to the full RebuildTreeLive path. A
+// tree whose root died is re-rooted at the alive node deepest in the base
+// tree (ties to the lowest ID) — the same "far from the base" intent as
+// construction, found via the two-level regional index instead of an O(n)
+// scan. Callers holding paths from the old trees (PathToBase results etc.)
 // observe the repaired routes on their next lookup. Returns the number of
-// trees rebuilt.
+// trees repaired (patched or rebuilt).
 func (s *Substrate) RepairTrees(net *sim.Network, live *topology.Liveness, failed []topology.NodeID) int {
-	rebuilt := 0
+	repaired := 0
 	for ti, tree := range s.Trees {
 		needs := !live.Alive(tree.Root)
 		for _, id := range failed {
@@ -275,9 +336,28 @@ func (s *Substrate) RepairTrees(net *sim.Network, live *topology.Liveness, faile
 		}
 		root := tree.Root
 		if !live.Alive(root) {
-			root = s.farthestAliveRoot(live)
+			root = s.regionalRoot(live)
 			if root < 0 {
 				continue // no alive replacement; leave the tree stale
+			}
+		}
+		if root == tree.Root {
+			if s.patch == nil {
+				s.patch = NewPatchScratch()
+			}
+			if res, ok := PatchTreeLive(s.Topo, tree, net, live, s.patch); ok {
+				s.patchColumns(ti, tree, res.Dirty)
+				if net != nil {
+					s.chargeTableShip(ti, tree, net)
+				}
+				if ti == 0 {
+					s.baseGen++
+				}
+				s.stats.Patched++
+				s.stats.RegionNodes += res.Region
+				s.stats.ChangedParents += res.Changed
+				repaired++
+				continue
 			}
 		}
 		nt := RebuildTreeLive(s.Topo, tree, root, net, live)
@@ -291,9 +371,52 @@ func (s *Substrate) RepairTrees(net *sim.Network, live *topology.Liveness, faile
 		if net != nil {
 			s.chargeTableShip(ti, nt, net)
 		}
-		rebuilt++
+		if ti == 0 {
+			s.baseGen++
+		}
+		s.stats.Rebuilt++
+		repaired++
 	}
-	return rebuilt
+	return repaired
+}
+
+// patchColumns recomputes the summary columns for just the dirty nodes of
+// a patched tree. dirty arrives (new depth descending, id ascending), so a
+// dirty node's dirty children are recomputed before it; clean children
+// keep summaries whose content is provably unchanged (their subtrees did
+// not change membership), making the resulting columns value-identical to
+// a full bottom-up rebuild.
+func (s *Substrate) patchColumns(ti int, tree *Tree, dirty []topology.NodeID) {
+	for _, id := range dirty {
+		for ci, spec := range s.specs {
+			sm := s.newSummary(spec)
+			sm.AddValue(spec.Values[id])
+			for _, c := range tree.Children[id] {
+				sm.Merge(s.cols[ti][ci][c])
+			}
+			s.cols[ti][ci][id] = sm
+		}
+		if s.indexPos {
+			r := summary.NewRegion()
+			r.AddPoint(s.pos[id])
+			for _, c := range tree.Children[id] {
+				r.Merge(s.regions[ti][c])
+			}
+			s.regions[ti][id] = r
+		}
+	}
+}
+
+// regionalRoot picks the replacement root through the two-level regional
+// index: one cursor per region skips its dead prefix, and only the 16
+// region heads are compared — cross-region repair never walks intra-region
+// structure. Returns exactly the node farthestAliveRoot would.
+func (s *Substrate) regionalRoot(live *topology.Liveness) topology.NodeID {
+	if s.regional == nil {
+		s.regional = NewRegionalIndex(s.Topo)
+	}
+	s.regional.Refresh(s.Trees[0], s.baseGen)
+	return s.regional.FarthestAliveRoot(live)
 }
 
 // farthestAliveRoot picks the replacement root for a tree whose root died:

@@ -8,8 +8,6 @@
 package routing
 
 import (
-	"sort"
-
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -98,26 +96,44 @@ func (p Path) Concat(q Path) Path {
 // (BFS from the root over radio links, ties broken to the lowest node ID so
 // construction is deterministic).
 //
-// A Tree is immutable after construction (repair builds a replacement via
-// RebuildTreeLive), so all reads — Parent/Depth/Children, the cached
-// PathToRoot slices, DeepFirst — are safe from concurrent goroutines; the
-// engine's parallel query stepping relies on this.
+// A Tree is only mutated at the epoch barrier (by RebuildTreeLive building a
+// replacement, or by PatchTreeLive splicing the orphaned region in place), so
+// all reads — Parent/Depth/Children, the cached PathToRoot slices, DeepFirst
+// — are safe from concurrent goroutines during query stepping; the engine's
+// parallel query stepping relies on this. PatchTreeLive never overwrites path
+// bytes a stale reader could hold: changed root paths are written into a
+// fresh slab and only the per-node Path headers are swapped.
 type Tree struct {
 	Root     topology.NodeID
 	Parent   []topology.NodeID // -1 at the root
 	Depth    []int
 	Children [][]topology.NodeID
 
-	// rootPaths[id] is the cached parent-chain path id -> Root. Trees are
-	// immutable after construction, so the paths are computed once and
-	// shared by every PathToRoot call (hot path: every tuple routed to the
-	// base walks one).
+	// rootPaths[id] is the cached parent-chain path id -> Root, carved out
+	// of one flat slab (pathSlab) so a 100k-node tree costs one backing
+	// allocation, not one per node. Shared by every PathToRoot call (hot
+	// path: every tuple routed to the base walks one).
 	rootPaths []Path
+	// pathSlab is the backing array the rootPaths are carved from. Repairs
+	// that change paths carve replacements from fresh per-repair slabs
+	// (never overwriting these bytes), so the field only tracks the
+	// dominant allocation for MemBytes accounting.
+	pathSlab []topology.NodeID
+	// childSlab is the CSR backing array for Children: per-parent slices
+	// carved cap-clamped from one allocation. A patch inserting a child
+	// into a full slice spills just that parent's slice onto the heap.
+	childSlab []topology.NodeID
 	// deepFirst is the cached deepest-first node order (depth descending,
 	// node ID ascending within a depth): the order every bottom-up summary
 	// pass over the tree walks. Computed once per tree by counting sort
 	// instead of re-sorting on every routing-table (re)build.
 	deepFirst []topology.NodeID
+	// staleSet[id] reports whether id's parent edge is a stale leftover: id
+	// was unreachable by the live BFS that (re)built this tree, so it kept
+	// transmitting toward its previous parent. PatchTreeLive uses the set
+	// to find the currently-dead region and to detect revivals (a recorded
+	// stale node now alive forces a full rebuild).
+	staleSet []bool
 }
 
 // BuildTree constructs a routing tree rooted at root. When net is non-nil,
@@ -125,7 +141,13 @@ type Tree struct {
 // the tree forms (the flooding construction of [10]).
 func BuildTree(topo *topology.Topology, root topology.NodeID, net *sim.Network) *Tree {
 	depth, parent := topo.BFS(root)
-	return assembleTree(topo, root, net, depth, parent)
+	stale := make([]bool, topo.N())
+	for i, d := range depth {
+		if d < 0 && topology.NodeID(i) != root {
+			stale[i] = true
+		}
+	}
+	return assembleTree(topo, root, net, depth, parent, stale)
 }
 
 // RebuildTreeLive rebuilds old around failed nodes — the engine's
@@ -143,9 +165,11 @@ func BuildTree(topo *topology.Topology, root topology.NodeID, net *sim.Network) 
 func RebuildTreeLive(topo *topology.Topology, old *Tree, root topology.NodeID, net *sim.Network, live *topology.Liveness) *Tree {
 	n := topo.N()
 	depth, parent := topo.BFSLive(root, live)
+	stale := make([]bool, n)
 	for i := 0; i < n; i++ {
 		if depth[i] < 0 && topology.NodeID(i) != root {
 			parent[i] = old.Parent[i]
+			stale[i] = true
 		}
 	}
 	// Merged depths: reachable nodes get their BFS depth back; stale
@@ -156,41 +180,77 @@ func RebuildTreeLive(topo *topology.Topology, old *Tree, root topology.NodeID, n
 	for i := range depth {
 		depth[i] = -1
 	}
-	var walk func(id topology.NodeID) int
-	walk = func(id topology.NodeID) int {
+	mergedDepths(depth, parent)
+	return assembleTree(topo, root, net, depth, parent, stale)
+}
+
+// mergedDepths fills depth (all -1 on entry) with chain lengths along the
+// merged parent vector. Iterative on purpose: a long stale parent chain at
+// 100k nodes would overflow the goroutine stack if walked recursively, so
+// each node first climbs to the nearest already-measured ancestor (or a
+// chain end) and then unwinds the visited prefix. The climb path is kept in
+// a reusable stack slice; total work is O(n) since every node is measured
+// exactly once.
+func mergedDepths(depth []int, parent []topology.NodeID) {
+	var stack []topology.NodeID
+	for i := range depth {
+		if depth[i] >= 0 {
+			continue
+		}
+		stack = stack[:0]
+		id := topology.NodeID(i)
+		for depth[id] < 0 && parent[id] >= 0 {
+			stack = append(stack, id)
+			id = parent[id]
+		}
+		d := 0
 		if depth[id] >= 0 {
-			return depth[id]
-		}
-		if parent[id] < 0 {
-			depth[id] = 0
+			d = depth[id]
 		} else {
-			depth[id] = walk(parent[id]) + 1
+			depth[id] = 0 // chain end: a root (local or global)
 		}
-		return depth[id]
+		for j := len(stack) - 1; j >= 0; j-- {
+			d++
+			depth[stack[j]] = d
+		}
 	}
-	for i := 0; i < n; i++ {
-		walk(topology.NodeID(i))
-	}
-	return assembleTree(topo, root, net, depth, parent)
 }
 
 // assembleTree builds the derived tree structure (children, beacons, root
-// paths, deepest-first order) from a parent/depth vector.
-func assembleTree(topo *topology.Topology, root topology.NodeID, net *sim.Network, depth []int, parent []topology.NodeID) *Tree {
+// paths, deepest-first order) from a parent/depth vector. All per-node
+// derived slices are carved out of flat slabs — three backing allocations
+// (children CSR, path slab, deepest-first order) regardless of n — so the
+// 100k-node deployment does not pay 100k tiny allocations per tree.
+func assembleTree(topo *topology.Topology, root topology.NodeID, net *sim.Network, depth []int, parent []topology.NodeID, stale []bool) *Tree {
 	n := topo.N()
 	t := &Tree{
 		Root:     root,
 		Parent:   parent,
 		Depth:    depth,
 		Children: make([][]topology.NodeID, n),
+		staleSet: stale,
+	}
+	// Children as CSR: count, carve cap-clamped slices, then fill by
+	// ascending node ID — which leaves every child list ascending without a
+	// sort (the order the previous sort.Slice produced).
+	counts := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		if p := parent[i]; p >= 0 {
+			counts[p]++
+			total++
+		}
+	}
+	t.childSlab = make([]topology.NodeID, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		t.Children[i] = t.childSlab[off : off : off+counts[i]]
+		off += counts[i]
 	}
 	for i := 0; i < n; i++ {
 		if p := parent[i]; p >= 0 {
 			t.Children[p] = append(t.Children[p], topology.NodeID(i))
 		}
-	}
-	for i := range t.Children {
-		sort.Slice(t.Children[i], func(a, b int) bool { return t.Children[i][a] < t.Children[i][b] })
 	}
 	if net != nil {
 		beacon := 2 * sim.ValueBytes // root id + depth
@@ -198,38 +258,83 @@ func assembleTree(topo *topology.Topology, root topology.NodeID, net *sim.Networ
 			net.Broadcast(topology.NodeID(i), beacon, sim.Control)
 		}
 	}
+	// Root paths carved from one slab. Merged depths equal chain lengths
+	// minus one (unreachable nodes in a from-scratch build have depth -1
+	// and a one-entry path), so the slab size is exact.
+	slabLen := 0
+	for i := 0; i < n; i++ {
+		if depth[i] >= 0 {
+			slabLen += depth[i] + 1
+		} else {
+			slabLen++
+		}
+	}
+	t.pathSlab = make([]topology.NodeID, 0, slabLen)
 	t.rootPaths = make([]Path, n)
 	for i := 0; i < n; i++ {
 		id := topology.NodeID(i)
-		p := make(Path, 0, depth[id]+1)
-		p = append(p, id)
+		start := len(t.pathSlab)
+		t.pathSlab = append(t.pathSlab, id)
 		for parent[id] >= 0 {
 			id = parent[id]
-			p = append(p, id)
+			t.pathSlab = append(t.pathSlab, id)
 		}
-		t.rootPaths[i] = p
+		t.rootPaths[i] = Path(t.pathSlab[start:len(t.pathSlab):len(t.pathSlab)])
 	}
-	// Counting sort by depth: appending node IDs in ascending order keeps
+	// Counting sort by depth: placing node IDs in ascending order keeps
 	// each depth bucket ascending, and concatenating buckets deepest-first
 	// yields exactly the (depth desc, id asc) order a comparison sort
-	// produces.
+	// produces. Bucket index d+1 holds depth d; unreachable nodes (depth
+	// -1) land in bucket 0, emitted last.
 	maxDepth := 0
 	for _, d := range depth {
 		if d > maxDepth {
 			maxDepth = d
 		}
 	}
-	// Bucket index d+1 holds depth d; unreachable nodes (depth -1) land in
-	// bucket 0, emitted last, matching a (depth desc, id asc) sort exactly.
-	buckets := make([][]topology.NodeID, maxDepth+2)
+	bucketOff := make([]int, maxDepth+2)
 	for i := 0; i < n; i++ {
-		buckets[depth[i]+1] = append(buckets[depth[i]+1], topology.NodeID(i))
+		bucketOff[depth[i]+1]++
 	}
-	t.deepFirst = make([]topology.NodeID, 0, n)
+	// Prefix offsets in emission order (deepest bucket first, bucket 0 last).
+	pos := 0
 	for b := maxDepth + 1; b >= 0; b-- {
-		t.deepFirst = append(t.deepFirst, buckets[b]...)
+		c := bucketOff[b]
+		bucketOff[b] = pos
+		pos += c
+	}
+	t.deepFirst = make([]topology.NodeID, n)
+	for i := 0; i < n; i++ {
+		b := depth[i] + 1
+		t.deepFirst[bucketOff[b]] = topology.NodeID(i)
+		bucketOff[b]++
 	}
 	return t
+}
+
+// Stale reports whether id's parent edge is a stale leftover from before the
+// last (re)build: the node was unreachable over live links, so it keeps
+// transmitting toward its previous parent (section 7 semantics — the hop is
+// charged and lost).
+func (t *Tree) Stale(id topology.NodeID) bool { return t.staleSet[id] }
+
+// MemBytes reports the tree's resident derived-structure footprint: the
+// parent/depth columns, the children CSR, the root-path slab and headers,
+// the deepest-first order, and the stale set. Spilled per-parent child
+// slices and superseded path slabs from in-place patches are not tracked —
+// they are small and die with the next full rebuild.
+func (t *Tree) MemBytes() int64 {
+	const idBytes = 8  // topology.NodeID is an int
+	const intBytes = 8 // []int depth entries
+	b := int64(len(t.Parent)) * idBytes
+	b += int64(len(t.Depth)) * intBytes
+	b += int64(len(t.Children)) * 24 // slice headers
+	b += int64(len(t.childSlab)) * idBytes
+	b += int64(len(t.rootPaths)) * 24 // Path headers
+	b += int64(cap(t.pathSlab)) * idBytes
+	b += int64(len(t.deepFirst)) * idBytes
+	b += int64(len(t.staleSet))
+	return b
 }
 
 // DeepFirst returns the tree's nodes deepest-first (ties broken to the

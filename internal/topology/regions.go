@@ -1,0 +1,52 @@
+package topology
+
+// RegionGrid partitions the deployment field into the paper's 4x4 grid of
+// regions — the same cells the workload's cid/rid static attributes (and
+// their routing-table columns) are derived from, computed here directly
+// from node positions so the topology layer can offer region structure
+// without importing the workload. The grid is the first level of the
+// two-level regional substrate: per-region membership lets repair-time
+// scans touch region cursors instead of walking every node.
+const (
+	// RegionsPerAxis is the per-axis cell count of the region grid.
+	RegionsPerAxis = 4
+	// NumRegions is the total region count.
+	NumRegions = RegionsPerAxis * RegionsPerAxis
+)
+
+// RegionGrid is the 4x4 spatial partition of one topology's nodes.
+type RegionGrid struct {
+	// members[r] lists the nodes of region r in ascending node ID.
+	members [NumRegions][]NodeID
+	// regionOf[id] is the region index of node id.
+	regionOf []uint8
+}
+
+// NewRegionGrid builds the region partition for topo.
+func NewRegionGrid(topo *Topology) *RegionGrid {
+	n := topo.N()
+	g := &RegionGrid{regionOf: make([]uint8, n)}
+	cell := Field / RegionsPerAxis
+	for i := 0; i < n; i++ {
+		p := topo.Pos(NodeID(i))
+		cx := int(p.X / cell)
+		if cx > RegionsPerAxis-1 {
+			cx = RegionsPerAxis - 1
+		}
+		cy := int(p.Y / cell)
+		if cy > RegionsPerAxis-1 {
+			cy = RegionsPerAxis - 1
+		}
+		r := cy*RegionsPerAxis + cx
+		g.regionOf[i] = uint8(r)
+		g.members[r] = append(g.members[r], NodeID(i))
+	}
+	return g
+}
+
+// Region returns the region index of id.
+func (g *RegionGrid) Region(id NodeID) int { return int(g.regionOf[id]) }
+
+// Members returns region r's nodes in ascending node ID. The slice is
+// owned by the grid; treat it as read-only.
+func (g *RegionGrid) Members(r int) []NodeID { return g.members[r] }
